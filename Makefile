@@ -1,0 +1,24 @@
+# Convenience targets for the DICE reproduction.
+
+.PHONY: install test bench report examples clean
+
+install:
+	python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -q -s
+
+report:
+	python -m repro.analysis.report EXPERIMENTS.md
+
+examples:
+	python examples/quickstart.py
+	python examples/compression_explorer.py
+	python examples/trace_replay.py omnetpp 1500
+
+clean:
+	rm -f .sim_cache.json test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

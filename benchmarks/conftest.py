@@ -1,0 +1,52 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one paper figure or table.  Simulation results
+are cached (in-process and on disk), so the expensive simulations run once
+per machine; re-running the bench suite replays tables from the cache.
+
+Environment knobs:
+
+* ``REPRO_SCALE``    — capacity scale factor (default 4096; see DESIGN.md).
+* ``REPRO_ACCESSES`` — L3 accesses simulated per core (default 6000).
+* ``REPRO_DISK_CACHE=0`` — disable the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.harness.runner import DEFAULT_ACCESSES
+from repro.sim.engine import SimulationParams
+
+
+@pytest.fixture(scope="session")
+def sim_params() -> SimulationParams:
+    """Run-length parameters shared by every benchmark."""
+    return SimulationParams(accesses_per_core=DEFAULT_ACCESSES)
+
+
+@pytest.fixture
+def show():
+    """Print an experiment's table plus group summary under -s/-rA."""
+
+    def _show(title, headers, rows, summary, paper=None):
+        print()
+        print(format_table(headers, rows, title=title))
+        print()
+        for key, value in summary.items():
+            line = f"  {key:28s} {value:8.3f}"
+            if paper and key in paper:
+                line += f"   (paper: {paper[key]})"
+            print(line)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic, minutes-long simulations; repeating
+    them for statistical timing would be waste, so a single round is used.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Ablations beyond the paper's tables (DESIGN.md Sec 6).
+
+* CIP off (probe TSI first, always pay the second access when wrong) vs
+  the LTT predictor vs an oracle — quantifies what index prediction buys.
+* Tag sharing off — quantifies what pair compression with shared tags buys.
+* NSI — the naive spatial indexing the paper rejects in Sec 4.5.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import GROUPS, _speedup_experiment
+
+
+def test_ablation_cip_modes(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark,
+        lambda: _speedup_experiment(
+            ["dice-cip-none", "dice", "dice-cip-oracle"], params=sim_params
+        ),
+    )
+    show("Ablation: CIP off / LTT / oracle", headers, rows, summary)
+    none = summary["dice-cip-none/ALL26"]
+    ltt = summary["dice/ALL26"]
+    oracle = summary["dice-cip-oracle/ALL26"]
+    # The LTT must recover most of the oracle's benefit over no predictor.
+    assert oracle >= ltt - 0.02
+    assert ltt >= none - 0.02
+
+
+def test_ablation_tag_sharing(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark,
+        lambda: _speedup_experiment(["dice-noshare", "dice"], params=sim_params),
+    )
+    show("Ablation: tag sharing off vs on", headers, rows, summary)
+    # Shared tags/bases let pairs fit in 72 B; without them DICE loses part
+    # of its packing (never gains).
+    assert summary["dice/ALL26"] >= summary["dice-noshare/ALL26"] - 0.02
+
+
+def test_ablation_nsi(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark,
+        lambda: _speedup_experiment(["nsi", "bai"], params=sim_params),
+    )
+    show("Ablation: NSI vs BAI static indexing", headers, rows, summary)
+    # Both co-locate pairs; BAI's value over NSI is cheap *dynamic switching*,
+    # so as static schemes they land in the same band.
+    assert abs(summary["nsi/ALL26"] - summary["bai/ALL26"]) < 0.15

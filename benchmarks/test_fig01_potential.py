@@ -1,0 +1,25 @@
+"""Fig 1(f) / Sec 2.4: potential speedup from doubling the DRAM cache's
+capacity, bandwidth, or both.
+
+Paper: 2x capacity ~ +10%, 2x both ~ +22% on average — the gap between the
+two is the bandwidth headroom DICE targets.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig01_potential
+
+PAPER = {
+    "2xcap/ALL26": "~1.10",
+    "2xcap2xbw/ALL26": "~1.22",
+}
+
+
+def test_fig01_potential(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: fig01_potential(sim_params)
+    )
+    show("Fig 1(f): potential from doubling cache resources", headers, rows, summary, PAPER)
+    # Shape: doubling both must beat doubling capacity alone on average.
+    assert summary["2xcap2xbw/ALL26"] > summary["2xcap/ALL26"]
+    assert summary["2xcap2xbw/ALL26"] > 1.0

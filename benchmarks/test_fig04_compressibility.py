@@ -1,0 +1,27 @@
+"""Fig 4: fraction of compressible lines per workload.
+
+The paper measures lines installed into the DRAM cache: how many compress
+to <=32 B, <=36 B, and how often two adjacent lines co-compress to <=68 B
+(one 72 B TAD).  Paper average: ~52% of adjacent pairs fit in 68 B.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig04_compressibility
+
+PAPER = {"double<=68": "~52%"}
+
+
+def test_fig04_compressibility(benchmark, show):
+    headers, rows, summary = run_once(benchmark, fig04_compressibility)
+    show("Fig 4: compressibility of installed lines (%)", headers, rows, summary, PAPER)
+    by_name = {row[0]: row for row in rows}
+    # Shape: the compressible standouts must beat the incompressible ones.
+    for compressible in ("soplex", "gcc", "astar"):
+        for incompressible in ("lbm", "libq", "Gems"):
+            assert by_name[compressible][3] > by_name[incompressible][3]
+    # Average pair-compressibility in a sane band around the paper's 52%.
+    assert 25.0 <= summary["double<=68"] <= 80.0
+    # <=36 is a superset of <=32 by construction.
+    for row in rows:
+        assert row[2] >= row[1]

@@ -1,0 +1,38 @@
+"""Fig 7: speedup of compressing with TSI vs BAI, against doubled caches.
+
+Paper shape: TSI never slows anything down (capacity-only, ~+7% average);
+BAI wins big on compressible workloads but thrashes incompressible ones
+(lbm, libq), averaging ~0%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig07_tsi_bai
+
+PAPER = {
+    "tsi/ALL26": "~1.07",
+    "bai/ALL26": "~1.00",
+    "2xcap/ALL26": "~1.10",
+    "2xcap2xbw/ALL26": "~1.22",
+}
+
+
+def test_fig07_tsi_bai(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: fig07_tsi_bai(sim_params)
+    )
+    show("Fig 7: TSI and BAI vs doubled caches (speedup)", headers, rows, summary, PAPER)
+    by_name = {row[0]: row[1:] for row in rows}
+    # TSI compresses for capacity only: no workload should slow down much.
+    for name, (tsi, bai, _cap, _both) in by_name.items():
+        assert tsi > 0.95, f"TSI degraded {name}: {tsi:.3f}"
+    # BAI must thrash the incompressible streaming workloads...
+    assert by_name["libq"][1] < 0.9
+    assert by_name["lbm"][1] < 1.0
+    # ...and win on compressible ones (paper Sec 4.6 names soplex, gcc,
+    # zeusmp, astar; our synthetic gcc is the least pronounced of those,
+    # so the robust standouts carry the assertion).
+    assert by_name["soplex"][1] > 1.05
+    assert by_name["zeusmp"][1] > 1.05
+    # On average BAI's wins and losses roughly cancel vs TSI's steady gain.
+    assert summary["bai/ALL26"] < summary["2xcap2xbw/ALL26"]

@@ -1,0 +1,37 @@
+"""Fig 10: the headline result — TSI, BAI, DICE vs a double-capacity
+double-bandwidth cache.
+
+Paper: DICE +19.0% average, approaching the 2x/2x cache's +21.9%; DICE
+matches BAI where BAI wins and falls back to TSI where BAI loses, never
+degrading below baseline.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig10_dice
+
+PAPER = {
+    "tsi/ALL26": "~1.07",
+    "bai/ALL26": "~1.00",
+    "dice/ALL26": "~1.19",
+    "2xcap2xbw/ALL26": "~1.22",
+    "dice/GAP": "~1.49",
+    "dice/SPEC RATE": "~1.12",
+}
+
+
+def test_fig10_dice(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: fig10_dice(sim_params)
+    )
+    show("Fig 10: DICE speedup vs static schemes", headers, rows, summary, PAPER)
+    by_name = {row[0]: row[1:] for row in rows}
+    # DICE must never degrade a workload below baseline (Sec 5.4).
+    for name, (tsi, bai, dice, _both) in by_name.items():
+        assert dice > 0.97, f"DICE degraded {name}: {dice:.3f}"
+    # The dynamic scheme beats both static schemes on average.
+    assert summary["dice/ALL26"] > summary["tsi/ALL26"]
+    assert summary["dice/ALL26"] > summary["bai/ALL26"]
+    # ...and delivers a material average gain, biggest on GAP.
+    assert summary["dice/ALL26"] > 1.05
+    assert summary["dice/GAP"] > summary["dice/SPEC RATE"]

@@ -1,0 +1,31 @@
+"""Fig 11: distribution of BAI vs TSI installs under DICE.
+
+For 50% of lines the two indices coincide (no decision needed).  Among the
+decided half, the paper measures a slight skew toward TSI (52/48), because
+incompressible workloads push nearly everything to TSI.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig11_index_distribution
+
+PAPER = {
+    "decided/tsi_share": "~52%",
+    "decided/bai_share": "~48%",
+}
+
+
+def test_fig11_index_distribution(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: fig11_index_distribution(sim_params)
+    )
+    show("Fig 11: DICE index distribution (% of installs)", headers, rows, summary, PAPER)
+    by_name = {row[0]: row[1:] for row in rows}
+    # The invariant fraction hovers near 50% of lines by construction.
+    for name, (inv, _tsi, _bai) in by_name.items():
+        assert 30.0 <= inv <= 70.0, f"{name}: invariant {inv:.1f}%"
+    # Incompressible workloads must skew to TSI, compressible ones to BAI.
+    assert by_name["libq"][1] > by_name["libq"][2]
+    assert by_name["soplex"][2] > by_name["soplex"][1]
+    # Shares over the decided half are a split, not a blowout.
+    assert 15.0 <= summary["decided/bai_share"] <= 85.0

@@ -1,0 +1,23 @@
+"""Fig 13: DICE on non-memory-intensive SPEC benchmarks (L3 MPKI < 2).
+
+These workloads mostly fit in the on-chip hierarchy; the paper's point is
+that DICE never degrades them and gives ~+2% on average.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig13_nonintensive
+
+PAPER = {"gmean": "~1.02"}
+
+
+def test_fig13_nonintensive(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: fig13_nonintensive(sim_params)
+    )
+    show("Fig 13: DICE on non-memory-intensive workloads", headers, rows, summary, PAPER)
+    # DICE must not degrade any of them.
+    for name, value in ((row[0], row[1]) for row in rows):
+        assert value > 0.97, f"DICE degraded {name}: {value:.3f}"
+    # Benefit is small but non-negative on average.
+    assert 0.99 <= summary["gmean"] <= 1.20

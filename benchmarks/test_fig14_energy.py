@@ -1,0 +1,29 @@
+"""Fig 14: L4+memory power, energy, and energy-delay product.
+
+Paper: DICE cuts off-chip energy by ~24% and EDP by ~36%; TSI helps some,
+BAI's thrashing makes its energy worse than its performance.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig14_energy
+
+PAPER = {
+    "dice/energy": "~0.76",
+    "dice/edp": "~0.64",
+}
+
+
+def test_fig14_energy(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: fig14_energy(sim_params)
+    )
+    show("Fig 14: energy normalized to baseline", headers, rows, summary, PAPER)
+    by_cfg = {row[0]: row[1:] for row in rows}
+    # DICE saves energy and (more) EDP.
+    dice_power, dice_perf, dice_energy, dice_edp = by_cfg["dice"]
+    assert dice_energy < 1.0
+    assert dice_edp < dice_energy, "EDP gain must compound energy x delay"
+    # DICE's EDP must beat both static schemes'.
+    assert dice_edp < by_cfg["tsi"][3]
+    assert dice_edp < by_cfg["bai"][3]

@@ -1,0 +1,24 @@
+"""Fig 15: Skewed Compressed Cache transplanted onto the DRAM cache.
+
+SCC's multi-location skewed lookup costs four DRAM accesses per request —
+fine on SRAM, ruinous on a bandwidth-sensitive DRAM cache.  Paper: SCC
+averages a 22% *slowdown* while DICE gains 19%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig15_scc
+
+PAPER = {
+    "scc/ALL26": "~0.78",
+    "dice/ALL26": "~1.19",
+}
+
+
+def test_fig15_scc(benchmark, sim_params, show):
+    headers, rows, summary = run_once(benchmark, lambda: fig15_scc(sim_params))
+    show("Fig 15: SCC vs DICE on a DRAM cache", headers, rows, summary, PAPER)
+    # SCC must lose on average; DICE must win; the gap is the point.
+    assert summary["scc/ALL26"] < 1.0
+    assert summary["dice/ALL26"] > 1.05
+    assert summary["dice/ALL26"] - summary["scc/ALL26"] > 0.15

@@ -1,0 +1,29 @@
+"""Extension bench: LCP-style fixed-target compression vs DICE.
+
+Not a paper figure, but a direct measurement of the Sec 2.2 / 7.2 argument
+DICE is built on: main-memory-style compression gets bandwidth benefits for
+lines that meet its fixed target, but pays a serialized second access for
+every exception line, and the paper argues that costly handling of
+incompressible data wipes out the benefit.  DICE keeps the upside while
+falling back to TSI instead of an exception region.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import _speedup_experiment
+
+
+def test_lcp_vs_dice(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark,
+        lambda: _speedup_experiment(["lcp", "dice"], params=sim_params),
+    )
+    show("Extension: LCP-style fixed-target compression vs DICE", headers, rows, summary)
+    by_name = {row[0]: row[1:] for row in rows}
+    # On incompressible workloads LCP's exception path must hurt while
+    # DICE's TSI fallback holds the line.
+    for wl in ("libq", "lbm"):
+        lcp, dice = by_name[wl]
+        assert dice > lcp, f"{wl}: DICE {dice:.3f} vs LCP {lcp:.3f}"
+    # Across the suite, dynamic indexing beats the fixed target.
+    assert summary["dice/ALL26"] > summary["lcp/ALL26"]

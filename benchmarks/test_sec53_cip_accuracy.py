@@ -1,0 +1,28 @@
+"""Sec 5.3: Cache Index Predictor accuracy vs Last-Time-Table size.
+
+Paper: read-path accuracy grows from 93.2% (512 entries) through 93.8%
+(2048, the default — 256 B of SRAM) to 94.1% (8192); the write-path
+compressibility predictor reaches ~95%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import sec53_cip_accuracy
+
+PAPER = {
+    "dice-ltt512": "~93.2%",
+    "dice": "~93.8%",
+    "dice-ltt8192": "~94.1%",
+    "write": "~95%",
+}
+
+
+def test_sec53_cip_accuracy(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: sec53_cip_accuracy(sim_params)
+    )
+    show("Sec 5.3: CIP accuracy (%)", headers, rows, summary, PAPER)
+    # Page-level compressibility correlation makes the LTT accurate.
+    assert summary["dice"] > 75.0
+    # A bigger table cannot be (meaningfully) worse than a smaller one.
+    assert summary["dice-ltt8192"] >= summary["dice-ltt512"] - 2.0

@@ -1,0 +1,37 @@
+"""Table 5: effective DRAM-cache capacity under TSI / BAI / DICE.
+
+Paper: TSI 1.24x, BAI 1.69x, DICE 1.62x on average, with GAP reaching
+2.0x / 5.6x / 5.1x — BAI and DICE pair-compress same-page lines (similar
+compressibility, shared tags/bases), so they pack more than TSI.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table5_capacity
+
+PAPER = {
+    "tsi/ALL26": "~1.24x",
+    "bai/ALL26": "~1.69x",
+    "dice/ALL26": "~1.62x",
+    "tsi/GAP": "~2.0x",
+    "bai/GAP": "~5.6x",
+    "dice/GAP": "~5.1x",
+}
+
+
+def test_table5_capacity(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: table5_capacity(sim_params)
+    )
+    show("Table 5: effective capacity vs uncompressed", headers, rows, summary, PAPER)
+    # Compression must grow effective capacity on average.
+    assert summary["tsi/ALL26"] > 1.0
+    assert summary["dice/ALL26"] > 1.0
+    # GAP packs far more than SPEC (small graph values, many lines per set).
+    assert summary["dice/GAP"] > summary["dice/SPEC RATE"]
+    # All compressed designs reach substantial GAP capacity; DICE tracks
+    # the static schemes within a few percent (in our substrate TSI also
+    # pair-packs same-region lines, so the paper's TSI-vs-BAI capacity gap
+    # narrows — the *bandwidth* gap, Fig 10, is where they differ).
+    assert summary["dice/GAP"] > 1.5
+    assert summary["dice/GAP"] > summary["tsi/GAP"] - 0.10

@@ -1,0 +1,26 @@
+"""Table 6: effect of DICE on the L3 hit rate.
+
+Paper: base 37.0% -> DICE 43.6% on average.  The gain comes from installing
+the spatially adjacent line that a compressed access delivers for free.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table6_l3_hitrate
+
+PAPER = {
+    "base/AVG26": "~37.0%",
+    "dice/AVG26": "~43.6%",
+}
+
+
+def test_table6_l3_hitrate(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: table6_l3_hitrate(sim_params)
+    )
+    show("Table 6: L3 hit rate (%)", headers, rows, summary, PAPER)
+    # DICE's free adjacent lines must lift the average L3 hit rate.
+    assert summary["dice/AVG26"] > summary["base/AVG26"]
+    # ...without hurting any single workload much.
+    for name, base, dice in ((r[0], r[1], r[2]) for r in rows):
+        assert dice > base - 3.0, f"{name}: L3 hit rate fell {base:.1f}->{dice:.1f}"

@@ -1,0 +1,30 @@
+"""Table 7: DICE vs wider L3 fetch and next-line prefetch.
+
+Paper: 128 B fetch +1.9%, next-line prefetch +1.6% — both pay an extra
+DRAM-cache request per extra line.  DICE gets its extra line for free
+(+19.0%), and composing DICE with next-line prefetch reaches +20.9%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table7_prefetch
+
+PAPER = {
+    "base-wide128/ALL26": "~1.019",
+    "base-nextline/ALL26": "~1.016",
+    "dice/ALL26": "~1.190",
+    "dice-nextline/ALL26": "~1.209",
+}
+
+
+def test_table7_prefetch(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: table7_prefetch(sim_params)
+    )
+    show("Table 7: prefetch comparison (speedup)", headers, rows, summary, PAPER)
+    # Paying bandwidth for the extra line gives only marginal benefit...
+    assert summary["base-wide128/ALL26"] < 1.12
+    assert summary["base-nextline/ALL26"] < 1.12
+    # ...while DICE's free extra line is worth much more.
+    assert summary["dice/ALL26"] > summary["base-wide128/ALL26"]
+    assert summary["dice/ALL26"] > summary["base-nextline/ALL26"]

@@ -1,0 +1,30 @@
+"""Table 8: DICE across cache design points (capacity, bandwidth, latency).
+
+Each column compares DICE against the *matching* uncompressed design.
+Paper: +19.0% at base, +13.2% on a 2x-capacity cache (capacity benefit
+shrinks, bandwidth benefit stays), +24.5% with 2x channels, +24.4% at
+half latency.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table8_sensitivity
+
+PAPER = {
+    "base(1GB)/ALL26": "~1.190",
+    "2x Capacity/ALL26": "~1.132",
+    "2x BW/ALL26": "~1.245",
+    "50% Latency/ALL26": "~1.244",
+}
+
+
+def test_table8_sensitivity(benchmark, sim_params, show):
+    headers, rows, summary = run_once(
+        benchmark, lambda: table8_sensitivity(sim_params)
+    )
+    show("Table 8: DICE vs matching uncompressed designs", headers, rows, summary, PAPER)
+    # DICE stays profitable at every design point.
+    for label in ("base(1GB)", "2x Capacity", "2x BW", "50% Latency"):
+        assert summary[f"{label}/ALL26"] > 1.0, label
+    # Doubling capacity erodes part of the benefit (capacity is less scarce).
+    assert summary["2x Capacity/ALL26"] < summary["base(1GB)/ALL26"] + 0.02

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Graph-analytics scenario: why DICE shines on GAP-style workloads.
+
+Graph kernels (PageRank, connected components, betweenness centrality on
+twitter/web graphs) combine enormous footprints, very high miss rates, and
+highly compressible data — CSR offset/edge arrays are narrow integers.  The
+paper's GAP group gets +48.9% from DICE and ~5x effective capacity.
+
+This example sweeps the GAP workloads across the four cache designs and
+prints the per-workload speedups plus the capacity story.
+
+Usage::
+
+    python examples/graph_analytics.py [accesses_per_core]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimulationParams, resolve_config, run_workload
+from repro.harness.report import format_table, geomean
+from repro.workloads.registry import GAP_WORKLOADS
+
+DESIGNS = ["tsi", "bai", "dice"]
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    params = SimulationParams(accesses_per_core=accesses)
+
+    rows = []
+    speedups = {d: [] for d in DESIGNS}
+    for workload in GAP_WORKLOADS:
+        print(f"simulating {workload} ...")
+        base = run_workload(workload, resolve_config("base"), params)
+        row = [workload]
+        capacity = None
+        for design in DESIGNS:
+            result = run_workload(workload, resolve_config(design), params)
+            s = result.weighted_speedup_over(base)
+            speedups[design].append(s)
+            row.append(s)
+            if design == "dice":
+                capacity = result.effective_capacity / max(
+                    1e-9, base.effective_capacity
+                )
+        row.append(capacity)
+        rows.append(row)
+
+    print()
+    print(
+        format_table(
+            ["workload", "tsi", "bai", "dice", "dice capacity (x)"],
+            rows,
+            title="GAP suite: speedup over uncompressed Alloy cache",
+        )
+    )
+    print()
+    for design in DESIGNS:
+        print(f"  {design:6s} geomean speedup: {geomean(speedups[design]):.3f}")
+    print(
+        "\nPaper reference: GAP group TSI ~ +? (capacity only), DICE +48.9%, "
+        "effective capacity ~5x (Tables 4 and 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

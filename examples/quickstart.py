@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload on the baseline and on DICE.
+
+Runs the `soplex` SPEC workload (compressible, reuse-heavy — a DICE
+showcase) on the uncompressed Alloy baseline and on DICE, then prints the
+headline metrics the paper reports: weighted speedup, hit rates, effective
+capacity, and DRAM-cache traffic.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimulationParams, resolve_config, run_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "soplex"
+    params = SimulationParams(accesses_per_core=4000)
+
+    print(f"Simulating {workload!r} on 8 cores (this takes a few seconds)...")
+    base = run_workload(workload, resolve_config("base"), params)
+    dice = run_workload(workload, resolve_config("dice"), params)
+
+    speedup = dice.weighted_speedup_over(base)
+    print()
+    print(f"{'metric':28s} {'baseline':>12s} {'DICE':>12s}")
+    print("-" * 56)
+    print(f"{'weighted speedup':28s} {1.0:12.3f} {speedup:12.3f}")
+    print(f"{'L3 hit rate':28s} {base.l3_hit_rate:12.3f} {dice.l3_hit_rate:12.3f}")
+    print(f"{'L4 (DRAM cache) hit rate':28s} {base.l4_hit_rate:12.3f} {dice.l4_hit_rate:12.3f}")
+    print(
+        f"{'effective capacity (x)':28s} "
+        f"{base.effective_capacity:12.2f} {dice.effective_capacity:12.2f}"
+    )
+    print(f"{'DRAM-cache accesses':28s} {base.l4_accesses:12d} {dice.l4_accesses:12d}")
+    print(f"{'main-memory accesses':28s} {base.mem_accesses:12d} {dice.mem_accesses:12d}")
+    print(
+        f"{'off-chip energy (norm.)':28s} {1.0:12.3f} "
+        f"{dice.energy_nj / base.energy_nj:12.3f}"
+    )
+    if dice.cip_accuracy is not None:
+        print(f"\nCache Index Predictor accuracy: {100 * dice.cip_accuracy:.1f}%")
+    if dice.index_distribution is not None:
+        inv, tsi, bai = dice.index_distribution
+        print(
+            f"Install index distribution: {100 * inv:.0f}% invariant, "
+            f"{100 * tsi:.0f}% TSI, {100 * bai:.0f}% BAI"
+        )
+
+
+if __name__ == "__main__":
+    main()

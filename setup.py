@@ -1,0 +1,10 @@
+"""Classic setup shim.
+
+The environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` installs the same editable package with no wheel dependency.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — a from-scratch reproduction of DICE (ISCA 2017).
+
+DICE: Compressing DRAM Caches for Bandwidth and Capacity
+(V. Young, P. J. Nair, M. K. Qureshi).
+
+Public API layers:
+
+* ``repro.compression`` — FPC / BDI / ZCA / hybrid line compressors.
+* ``repro.dram`` — DRAM bank/channel/device timing substrate.
+* ``repro.cache`` — on-chip SRAM cache substrate (shared L3).
+* ``repro.dramcache`` — Alloy-cache organization, set packing, MAP-I, SCC.
+* ``repro.core`` — the paper's contribution: BAI indexing, DICE, CIP.
+* ``repro.workloads`` — synthetic SPEC/GAP workload generators.
+* ``repro.sim`` — the multi-core memory-system simulator.
+* ``repro.harness`` — experiment drivers for every paper figure/table.
+
+Quick start::
+
+    from repro import SimulationParams, make_config, run_workload
+
+    config = make_config("dice")        # 1 GB-cache machine, scaled
+    result = run_workload("soplex", config, SimulationParams())
+    print(result.l4_hit_rate, result.effective_capacity)
+"""
+
+from repro.config import (
+    CoreConfig,
+    DRAMCacheConfig,
+    DRAMOrganization,
+    DRAMTimings,
+    SRAMCacheConfig,
+    SystemConfig,
+)
+from repro.harness.runner import (
+    STANDARD_CONFIGS,
+    cached_run,
+    make_config,
+    resolve_config,
+    speedup,
+)
+from repro.sim.engine import SimulationParams, run_workload
+from repro.sim.metrics import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "DRAMCacheConfig",
+    "DRAMOrganization",
+    "DRAMTimings",
+    "SRAMCacheConfig",
+    "SystemConfig",
+    "STANDARD_CONFIGS",
+    "cached_run",
+    "make_config",
+    "resolve_config",
+    "speedup",
+    "SimulationParams",
+    "run_workload",
+    "SimResult",
+    "__version__",
+]

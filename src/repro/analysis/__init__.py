@@ -1,0 +1,22 @@
+"""Result analysis: paper reference values, comparisons, report generation.
+
+`repro.analysis.paper` centralizes the numbers the paper reports for every
+figure and table; `repro.analysis.report` renders measured-vs-paper
+comparisons and generates EXPERIMENTS.md from the (cached) simulation
+results.
+"""
+
+from repro.analysis.paper import PAPER_REFERENCE, paper_value
+from repro.analysis.report import (
+    experiment_section,
+    render_comparison,
+    write_experiments_md,
+)
+
+__all__ = [
+    "PAPER_REFERENCE",
+    "paper_value",
+    "experiment_section",
+    "render_comparison",
+    "write_experiments_md",
+]

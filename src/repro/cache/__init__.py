@@ -1,0 +1,13 @@
+"""On-chip SRAM cache substrate (the L1/L2/L3 levels of Table 2)."""
+
+from repro.cache.replacement import LRUPolicy, RandomPolicy, ReplacementPolicy
+from repro.cache.sram import SRAMCache
+from repro.cache.hierarchy import OnChipHierarchy
+
+__all__ = [
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRAMCache",
+    "OnChipHierarchy",
+]

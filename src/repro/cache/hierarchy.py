@@ -1,0 +1,71 @@
+"""Shared L3 wrapper with install filtering and prefetch hooks.
+
+The simulated trace is the L3 access stream; this module wraps the L3
+`SRAMCache` and adds the two behaviours the paper's evaluation varies:
+
+* installing *extra* lines that arrive for free from a compressed L4 access
+  (Sec 6.4: DICE installs the spatially adjacent decompressed line in L3);
+* the comparison prefetchers of Table 7 (128 B wide fetch, next-line
+  prefetch), which issue *additional* L4 requests rather than riding along.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.sram import Eviction, SRAMCache
+from repro.config import SRAMCacheConfig
+
+
+class OnChipHierarchy:
+    """The shared L3 plus its install policy."""
+
+    def __init__(self, config: SRAMCacheConfig) -> None:
+        self.l3 = SRAMCache(config)
+        self.bonus_installs = 0
+        self.bonus_hits = 0
+        self._bonus_resident: set = set()
+
+    def lookup(self, line_addr: int) -> Optional[bytes]:
+        data = self.l3.lookup(line_addr)
+        if data is not None and line_addr in self._bonus_resident:
+            self.bonus_hits += 1
+            self._bonus_resident.discard(line_addr)
+        return data
+
+    def write(self, line_addr: int, data: bytes) -> bool:
+        return self.l3.write_hit(line_addr, data)
+
+    def install(
+        self, line_addr: int, data: bytes, *, dirty: bool = False
+    ) -> Optional[Eviction]:
+        self._bonus_resident.discard(line_addr)
+        return self.l3.install(line_addr, data, dirty=dirty)
+
+    def install_bonus(self, line_addr: int, data: bytes) -> Optional[Eviction]:
+        """Install a line that arrived for free with a demand access.
+
+        Skips the install if the line is already resident so that bonus
+        traffic never disturbs recency of demand-fetched data it duplicates.
+        """
+        if self.l3.contains(line_addr):
+            return None
+        self.bonus_installs += 1
+        self._bonus_resident.add(line_addr)
+        evicted = self.l3.install(line_addr, data, dirty=False)
+        if evicted is not None:
+            self._bonus_resident.discard(evicted.line_addr)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        self._bonus_resident.discard(line_addr)
+        return self.l3.invalidate(line_addr)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.l3.hit_rate
+
+    def reset_stats(self) -> None:
+        self.l3.reset_stats()
+        self.bonus_installs = 0
+        self.bonus_hits = 0

@@ -1,0 +1,55 @@
+"""Replacement policies for the set-associative SRAM caches."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state; one instance covers the whole cache."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    @abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """Record a hit or fill touching ``way`` of ``set_index``."""
+
+    @abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Pick the way to evict from ``set_index``."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU via per-set recency stacks."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._stacks: List[List[int]] = [
+            list(range(associativity)) for _ in range(num_sets)
+        ]
+
+    def on_access(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.append(way)
+
+    def victim(self, set_index: int) -> int:
+        return self._stacks[set_index][0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded random replacement, for ablation against LRU."""
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity)
+        self._rng = random.Random(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int) -> int:
+        return self._rng.randrange(self.associativity)

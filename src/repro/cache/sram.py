@@ -1,0 +1,153 @@
+"""Set-associative SRAM cache with writeback/write-allocate semantics.
+
+Used for the shared L3 in the simulated system (private L1/L2 effects are
+folded into the trace: the workload generators emit the L2-miss stream, i.e.
+the L3 access stream, exactly the granularity USIMM saw from PinPoint
+slices).  The cache is functional — it stores real line data — so the DICE
+path that installs decompressed neighbor lines into L3 is exercised with
+real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.config import LINE_SIZE, SRAMCacheConfig
+
+
+@dataclass
+class SRAMLine:
+    """One resident line."""
+
+    tag: int
+    data: bytes
+    dirty: bool = False
+    valid: bool = True
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim pushed out by a fill."""
+
+    line_addr: int
+    data: bytes
+    dirty: bool
+
+
+class SRAMCache:
+    """A single set-associative level."""
+
+    def __init__(
+        self,
+        config: SRAMCacheConfig,
+        replacement: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.replacement = replacement or LRUPolicy(
+            self.num_sets, self.associativity
+        )
+        self._sets: List[Dict[int, Tuple[int, SRAMLine]]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        # way occupancy per set: way -> tag
+        self._ways: List[List[Optional[int]]] = [
+            [None] * self.associativity for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, line_addr: int) -> Tuple[int, int]:
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def lookup(self, line_addr: int, *, touch: bool = True) -> Optional[bytes]:
+        """Probe for a line; counts hit/miss and updates recency on hit."""
+        set_index, tag = self._index(line_addr)
+        entry = self._sets[set_index].get(tag)
+        if entry is None:
+            self.misses += 1
+            return None
+        way, line = entry
+        if touch:
+            self.replacement.on_access(set_index, way)
+        self.hits += 1
+        return line.data
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence check with no stats or recency side effects."""
+        set_index, tag = self._index(line_addr)
+        return tag in self._sets[set_index]
+
+    def write_hit(self, line_addr: int, data: bytes) -> bool:
+        """Update a resident line in place; returns False on miss."""
+        set_index, tag = self._index(line_addr)
+        entry = self._sets[set_index].get(tag)
+        if entry is None:
+            return False
+        way, line = entry
+        line.data = data
+        line.dirty = True
+        self.replacement.on_access(set_index, way)
+        return True
+
+    def install(
+        self, line_addr: int, data: bytes, *, dirty: bool = False
+    ) -> Optional[Eviction]:
+        """Fill a line, evicting if the set is full.
+
+        Returns the eviction (for writeback handling) or None.
+        """
+        if len(data) != LINE_SIZE:
+            raise ValueError("SRAM cache stores whole lines")
+        set_index, tag = self._index(line_addr)
+        bucket = self._sets[set_index]
+        existing = bucket.get(tag)
+        if existing is not None:
+            way, line = existing
+            line.data = data
+            line.dirty = line.dirty or dirty
+            self.replacement.on_access(set_index, way)
+            return None
+        evicted: Optional[Eviction] = None
+        ways = self._ways[set_index]
+        if None in ways:
+            way = ways.index(None)
+        else:
+            way = self.replacement.victim(set_index)
+            victim_tag = ways[way]
+            assert victim_tag is not None
+            _way, victim = bucket.pop(victim_tag)
+            evicted = Eviction(
+                line_addr=victim_tag * self.num_sets + set_index,
+                data=victim.data,
+                dirty=victim.dirty,
+            )
+        ways[way] = tag
+        bucket[tag] = (way, SRAMLine(tag=tag, data=data, dirty=dirty))
+        self.replacement.on_access(set_index, way)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        """Drop a line if present, returning it for writeback if dirty."""
+        set_index, tag = self._index(line_addr)
+        entry = self._sets[set_index].pop(tag, None)
+        if entry is None:
+            return None
+        way, line = entry
+        self._ways[set_index][way] = None
+        return Eviction(line_addr=line_addr, data=line.data, dirty=line.dirty)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def valid_line_count(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

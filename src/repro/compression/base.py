@@ -1,0 +1,52 @@
+"""Compressor interface shared by every algorithm in the pool."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.config import LINE_SIZE
+
+
+@dataclass(frozen=True)
+class CompressedLine:
+    """Result of compressing one cache line.
+
+    ``payload`` is an opaque encoding sufficient for ``Compressor.decompress``
+    to reconstruct the original bytes; ``size`` is the number of bytes the
+    hardware encoding would occupy (what the set-packing logic budgets), which
+    is deliberately independent of the Python payload representation.
+    """
+
+    algorithm: str
+    size: int
+    payload: object
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.size <= LINE_SIZE:
+            raise ValueError(f"compressed size {self.size} out of range")
+
+
+class Compressor(ABC):
+    """A low-latency line compressor (FPC, BDI, ZCA, or a hybrid of them)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> CompressedLine:
+        """Compress one 64 B line.  Never fails: incompressible data is
+        returned stored (size == 64)."""
+
+    @abstractmethod
+    def decompress(self, line: CompressedLine) -> bytes:
+        """Reconstruct the original 64 bytes from ``compress``'s output."""
+
+    def compressed_size(self, data: bytes) -> int:
+        """Convenience: the byte budget this line needs in a set."""
+        return self.compress(data).size
+
+
+def check_line(data: bytes) -> None:
+    """Validate input is exactly one cache line."""
+    if len(data) != LINE_SIZE:
+        raise ValueError(f"expected a {LINE_SIZE}-byte line, got {len(data)}")

@@ -1,0 +1,118 @@
+"""C-PACK cache compression (Chen et al., TVLSI 2010).
+
+A dictionary-based scheme the paper lists among usable low-latency
+algorithms (Sec 7.1: "DICE is orthogonal to the type of data compression
+scheme used ... including ones that employ dictionary-based compression").
+Words are matched against a small FIFO dictionary built on the fly:
+
+========  =================================  ============
+code      meaning                            output bits
+========  =================================  ============
+``00``    zero word                          2
+``01``    uncompressed word                  2 + 32
+``10``    full dictionary match              2 + 4
+``1100``  partial match, low 2 bytes differ  4 + 4 + 16
+``1101``  zero-extended byte                 4 + 8
+``1110``  partial match, low byte differs    4 + 4 + 8
+========  ============================================
+
+Unmatched and partially matched words are pushed into the 16-entry FIFO
+dictionary, mirroring the hardware pipeline.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.compression.base import CompressedLine, Compressor, check_line
+from repro.config import LINE_SIZE
+
+_DICT_ENTRIES = 16
+
+_ZERO = "00"
+_UNCOMPRESSED = "01"
+_FULL_MATCH = "10"
+_PARTIAL_HI2 = "1100"
+_ZERO_BYTE = "1101"
+_PARTIAL_HI3 = "1110"
+
+_CODE_BITS = {
+    _ZERO: 2,
+    _UNCOMPRESSED: 2 + 32,
+    _FULL_MATCH: 2 + 4,
+    _PARTIAL_HI2: 4 + 4 + 16,
+    _ZERO_BYTE: 4 + 8,
+    _PARTIAL_HI3: 4 + 4 + 8,
+}
+
+
+class CPackCompressor(Compressor):
+    """C-PACK with a 16-entry FIFO dictionary."""
+
+    name = "cpack"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        check_line(data)
+        words = struct.unpack("<16I", data)
+        dictionary: List[int] = []
+        tokens: List[Tuple[str, ...]] = []
+        bits = 0
+        for word in words:
+            token = self._encode_word(word, dictionary)
+            tokens.append(token)
+            bits += _CODE_BITS[token[0]]
+            if token[0] in (_UNCOMPRESSED, _PARTIAL_HI2, _PARTIAL_HI3):
+                self._push(dictionary, word)
+        size = min(LINE_SIZE, (bits + 7) // 8)
+        return CompressedLine(self.name, size, tuple(tokens))
+
+    @staticmethod
+    def _push(dictionary: List[int], word: int) -> None:
+        dictionary.append(word)
+        if len(dictionary) > _DICT_ENTRIES:
+            dictionary.pop(0)
+
+    @staticmethod
+    def _encode_word(word: int, dictionary: List[int]) -> Tuple[str, ...]:
+        if word == 0:
+            return (_ZERO,)
+        if word <= 0xFF:
+            return (_ZERO_BYTE, word)
+        for index in range(len(dictionary) - 1, -1, -1):
+            entry = dictionary[index]
+            if entry == word:
+                return (_FULL_MATCH, index)
+            if entry >> 8 == word >> 8:
+                return (_PARTIAL_HI3, index, word & 0xFF)
+            if entry >> 16 == word >> 16:
+                return (_PARTIAL_HI2, index, word & 0xFFFF)
+        return (_UNCOMPRESSED, word)
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        if line.algorithm != self.name:
+            raise ValueError(f"not a C-PACK line: {line.algorithm}")
+        dictionary: List[int] = []
+        words: List[int] = []
+        for token in line.payload:
+            code = token[0]
+            if code == _ZERO:
+                word = 0
+            elif code == _ZERO_BYTE:
+                word = token[1]
+            elif code == _UNCOMPRESSED:
+                word = token[1]
+            elif code == _FULL_MATCH:
+                word = dictionary[token[1]]
+            elif code == _PARTIAL_HI3:
+                word = (dictionary[token[1]] & ~0xFF) | token[2]
+            elif code == _PARTIAL_HI2:
+                word = (dictionary[token[1]] & ~0xFFFF) | token[2]
+            else:
+                raise ValueError(f"unknown C-PACK code {code!r}")
+            words.append(word)
+            if code in (_UNCOMPRESSED, _PARTIAL_HI2, _PARTIAL_HI3):
+                self._push(dictionary, word)
+        if len(words) != LINE_SIZE // 4:
+            raise ValueError("corrupt C-PACK payload")
+        return struct.pack("<16I", *words)

@@ -1,0 +1,89 @@
+"""Frequent Value Compression (Zhang, Yang & Gupta, ASPLOS 2000).
+
+The paper's related work (Sec 7.1, ref [42]) includes value-centric
+compression: a small table of globally frequent 32-bit values is learned
+from the data stream; words matching a table entry are encoded by index,
+everything else is stored verbatim with a flag bit.
+
+Unlike FPC/BDI, FVC is *stateful across lines* — its value table persists —
+so the compressor exposes explicit training.  Decompression needs the same
+table contents, which hardware guarantees by construction; here the table
+snapshot travels in the payload header so round-trips stay self-contained.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.compression.base import CompressedLine, Compressor, check_line
+from repro.config import LINE_SIZE
+
+_TABLE_ENTRIES = 8  # 3-bit index
+_FLAG_BITS = 1
+_INDEX_BITS = 3
+_WORD_BITS = 32
+
+
+class FVCCompressor(Compressor):
+    """Frequent-value compression with a trained 8-entry value table."""
+
+    name = "fvc"
+
+    def __init__(self, frequent_values: Iterable[int] = ()) -> None:
+        self.table: Tuple[int, ...] = tuple(frequent_values)[:_TABLE_ENTRIES]
+        self._train_counts: Counter = Counter()
+
+    # -- training ---------------------------------------------------------
+
+    def train(self, data: bytes) -> None:
+        """Accumulate value statistics from one line."""
+        check_line(data)
+        self._train_counts.update(struct.unpack("<16I", data))
+
+    def finalize_table(self) -> Tuple[int, ...]:
+        """Freeze the most frequent values into the table."""
+        self.table = tuple(
+            value for value, _count in self._train_counts.most_common(_TABLE_ENTRIES)
+        )
+        return self.table
+
+    # -- compression --------------------------------------------------------
+
+    def compress(self, data: bytes) -> CompressedLine:
+        check_line(data)
+        index_of = {value: i for i, value in enumerate(self.table)}
+        words = struct.unpack("<16I", data)
+        tokens: List[Tuple[bool, int]] = []
+        bits = 0
+        for word in words:
+            hit = index_of.get(word)
+            if hit is not None:
+                tokens.append((True, hit))
+                bits += _FLAG_BITS + _INDEX_BITS
+            else:
+                tokens.append((False, word))
+                bits += _FLAG_BITS + _WORD_BITS
+        size = min(LINE_SIZE, (bits + 7) // 8)
+        return CompressedLine(self.name, size, (self.table, tuple(tokens)))
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        if line.algorithm != self.name:
+            raise ValueError(f"not an FVC line: {line.algorithm}")
+        table, tokens = line.payload
+        words = [
+            table[value] if is_hit else value for is_hit, value in tokens
+        ]
+        if len(words) != LINE_SIZE // 4:
+            raise ValueError("corrupt FVC payload")
+        return struct.pack("<16I", *words)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of trained words the frozen table would capture."""
+        total = sum(self._train_counts.values())
+        if not total:
+            return 0.0
+        covered = sum(self._train_counts[value] for value in self.table)
+        return covered / total

@@ -1,0 +1,50 @@
+"""Pair compression for spatially adjacent lines stored in the same set.
+
+When BAI places lines 2i and 2i+1 in one set, the controller may compress
+them together: they share BDI bases (Sec 4.2 "If two adjacent lines are
+compressed together, we share tags and bases") and a single 4 B tag.  The
+paper's headline packing rule follows: two adjacent lines co-compressed to
+<= 68 B fit in one 72 B TAD (Fig 4, "Double<=68").
+
+``pair_compressed_size`` returns the co-compressed data size for two lines,
+which is never worse than the sum of their individual sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.compression.base import Compressor
+from repro.compression.bdi import best_encoding, try_encode
+from repro.config import LINE_SIZE
+
+def _shared_base_size(a: bytes, b: bytes) -> Optional[int]:
+    """Size of the pair when both lines BDI-encode against one shared base.
+
+    The second line drops its copy of the base (Sec 4.2 base sharing), so a
+    base4-delta2 pair costs 36 + 32 = 68 B — the paper's "Double<=68".
+    """
+    enc_a = best_encoding(a)
+    if enc_a is None:
+        return None
+    enc_b = try_encode(b, enc_a.base_bytes, enc_a.delta_bytes, base=enc_a.base)
+    if enc_b is None:
+        return None
+    return enc_a.size + (enc_b.size - enc_b.base_bytes)
+
+
+def pair_compressed_size(
+    compressor: Compressor, a: bytes, b: bytes
+) -> Tuple[int, bool]:
+    """Co-compressed size of two adjacent lines and whether sharing helped.
+
+    Returns ``(size, shared)``; ``size`` is at most the sum of the individual
+    compressed sizes and at most 2 * LINE_SIZE.
+    """
+    size_a = compressor.compressed_size(a)
+    size_b = compressor.compressed_size(b)
+    independent = size_a + size_b
+    shared = _shared_base_size(a, b)
+    if shared is not None and shared < independent:
+        return min(shared, 2 * LINE_SIZE), True
+    return min(independent, 2 * LINE_SIZE), False

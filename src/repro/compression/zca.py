@@ -1,0 +1,31 @@
+"""Zero-Content Augmented compression (Dusser et al., ICS 2009).
+
+ZCA only recognizes the all-zero line; everything else is stored raw.  It is
+part of the low-latency pool the paper cites (Sec 7.1) and serves as the
+simplest member of the `Compressor` family — useful both as a baseline in
+ablations and as a fast pre-check in the hybrid.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import CompressedLine, Compressor, check_line
+from repro.config import LINE_SIZE
+
+
+class ZCACompressor(Compressor):
+    """Zero-content compression: zero lines cost (almost) nothing."""
+
+    name = "zca"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        check_line(data)
+        if data == bytes(LINE_SIZE):
+            return CompressedLine(self.name, 1, None)
+        return CompressedLine(self.name, LINE_SIZE, data)
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        if line.algorithm != self.name:
+            raise ValueError(f"not a ZCA line: {line.algorithm}")
+        if line.payload is None:
+            return bytes(LINE_SIZE)
+        return line.payload

@@ -1,0 +1,210 @@
+"""System configuration for the DICE reproduction.
+
+The paper (Table 2) evaluates an 8-core system with a 1 GB stacked-DRAM
+cache (HBM-style: 4 channels, 128-bit bus) in front of DDR main memory
+(1 channel, 64-bit bus).  Device latencies of the two DRAM technologies are
+identical; the stacked part provides 8x the bandwidth.
+
+Simulating a full 1 GB cache trace-by-trace in Python is impractical, so the
+default configuration is a *scaled* system: every capacity (cache size, L3
+size, workload footprint) is divided by the same factor, preserving every
+ratio the paper's results depend on.  ``SystemConfig.paper_scale(n)`` builds
+such a config; ``paper_scale(1)`` is the full-size paper machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+LINE_SIZE = 64
+"""Cache line size in bytes, used at every level of the hierarchy."""
+
+TAD_BYTES = 72
+"""Tag-and-data entry: 8 B tag + 64 B data (Alloy cache, Fig 2)."""
+
+TAD_TRANSFER_BYTES = 80
+"""Bytes moved per Alloy access: one 72 B TAD + the 8 B neighbor tag."""
+
+TAG_BYTES_COMPRESSED = 4
+"""Per-line tag cost inside a compressed set (Fig 5)."""
+
+MAX_LINES_PER_SET = 28
+"""Upper bound on compressed lines stored in one 72 B set (Sec 4.3)."""
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Device timing parameters, in CPU cycles (Table 2 uses a 3.2 GHz core
+    against 800 MHz DRAM, i.e. 4 CPU cycles per DRAM cycle)."""
+
+    tCAS: int = 44
+    tRCD: int = 44
+    tRP: int = 44
+    tRAS: int = 112
+    cpu_cycles_per_bus_cycle: float = 2.0  # 3.2 GHz CPU / 1.6 GHz DDR bus
+
+    def scaled_latency(self, factor: float) -> "DRAMTimings":
+        """Return timings with access latencies scaled by ``factor``.
+
+        Used by the half-latency sensitivity study (Table 8).
+        """
+        return dataclasses.replace(
+            self,
+            tCAS=max(1, round(self.tCAS * factor)),
+            tRCD=max(1, round(self.tRCD * factor)),
+            tRP=max(1, round(self.tRP * factor)),
+            tRAS=max(1, round(self.tRAS * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class DRAMOrganization:
+    """Channel/bank organization of one DRAM pool."""
+
+    channels: int
+    banks_per_channel: int
+    bus_bytes: int  # bus width in bytes (per channel, per bus cycle edge)
+    row_buffer_bytes: int = 2048
+    timings: DRAMTimings = field(default_factory=DRAMTimings)
+
+    def burst_cycles(self, nbytes: int) -> int:
+        """CPU cycles the channel bus is occupied transferring ``nbytes``.
+
+        A DDR bus moves ``bus_bytes`` per edge, two edges per bus cycle.
+        """
+        edges = max(1, -(-nbytes // self.bus_bytes))  # ceil division
+        bus_cycles = max(1, -(-edges // 2))
+        return max(1, round(bus_cycles * self.timings.cpu_cycles_per_bus_cycle))
+
+
+@dataclass(frozen=True)
+class SRAMCacheConfig:
+    """Geometry of one on-chip SRAM cache level."""
+
+    capacity_bytes: int
+    associativity: int
+    latency_cycles: int
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // LINE_SIZE
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.associativity)
+
+
+@dataclass(frozen=True)
+class DRAMCacheConfig:
+    """The L4 stacked-DRAM cache (Alloy organization)."""
+
+    capacity_bytes: int
+    organization: DRAMOrganization
+    compressed: bool = False
+    index_scheme: str = "tsi"  # "tsi" | "nsi" | "bai" | "dice"
+    dice_threshold: int = 36  # bytes; insertion-policy threshold (Sec 5.2)
+    cip_entries: int = 2048  # Last-Time-Table entries (Sec 5.3)
+    cip_mode: str = "ltt"  # "ltt" | "oracle" | "none" (always probe both)
+    tag_sharing: bool = True  # share tags for co-compressed neighbors
+    neighbor_tag_visible: bool = True  # Alloy streams neighbor tag; KNL: False
+    victim_policy: str = "lru"  # compressed-set eviction: "lru" | "largest"
+
+    @property
+    def num_sets(self) -> int:
+        """Direct-mapped: one line-sized frame per set."""
+        return self.capacity_bytes // LINE_SIZE
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Cycle-accounting model of one core (stand-in for USIMM's OoO core).
+
+    ``base_ipc`` and ``mlp`` are calibrated jointly against the paper's
+    Fig 1(f) anchors: doubling the DRAM cache's capacity should buy ~10%
+    and doubling capacity+bandwidth ~22%.  A 4-wide out-of-order core hides
+    much of the memory latency (high ``mlp``) and spends real time on
+    compute between misses (moderate ``base_ipc``).
+    """
+
+    num_cores: int = 8
+    base_ipc: float = 1.0  # retired instructions per cycle when not stalled
+    mlp: float = 8.0  # overlapping outstanding misses per core
+    l1_hit_cycles: int = 4
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete machine description handed to the simulator."""
+
+    core: CoreConfig
+    l3: SRAMCacheConfig
+    l4: DRAMCacheConfig
+    memory: DRAMOrganization
+    scale: int = 256  # capacities are paper values divided by this
+    l3_install_neighbors: bool = True  # install co-fetched lines into L3
+    l3_prefetch: str = "none"  # "none" | "nextline" | "wide128"
+    name: str = "base"
+
+    @staticmethod
+    def paper_scale(
+        scale: int = 256,
+        *,
+        compressed: bool = False,
+        index_scheme: str = "tsi",
+        l4_capacity_mult: float = 1.0,
+        l4_channel_mult: int = 1,
+        l4_latency_factor: float = 1.0,
+        name: Optional[str] = None,
+        **l4_overrides,
+    ) -> "SystemConfig":
+        """Build the Table 2 machine scaled down by ``scale``.
+
+        Keyword knobs express the paper's sensitivity axes: capacity
+        multiplier (2x Capacity), channel multiplier (2x BW), latency factor
+        (50% latency), and any `DRAMCacheConfig` field override.
+        """
+        l4_capacity = int(1 << 30) // scale
+        l4_capacity = int(l4_capacity * l4_capacity_mult)
+        stacked = DRAMOrganization(
+            channels=4 * l4_channel_mult,
+            banks_per_channel=16,
+            bus_bytes=16,
+            timings=DRAMTimings().scaled_latency(l4_latency_factor),
+        )
+        ddr = DRAMOrganization(channels=1, banks_per_channel=16, bus_bytes=8)
+        l4 = DRAMCacheConfig(
+            capacity_bytes=l4_capacity,
+            organization=stacked,
+            compressed=compressed,
+            index_scheme=index_scheme,
+            **l4_overrides,
+        )
+        # The L3 shrinks by a gentler factor than the DRAM structures: at
+        # full scale the paper's L3 captures reuse distances up to 8 MB, and
+        # scaling it by the same 1/scale would leave too few sets for any
+        # temporal locality to register.  scale/8 keeps the L3:footprint
+        # ordering (footprints still dwarf it) while preserving a usable set
+        # count; see DESIGN.md Sec 5.
+        l3_scale = max(1, scale // 8)
+        l3 = SRAMCacheConfig(
+            capacity_bytes=max(16 << 10, (8 << 20) // l3_scale),
+            associativity=8,
+            latency_cycles=30,
+        )
+        cfg_name = name or (f"{index_scheme}" if compressed else "alloy")
+        return SystemConfig(
+            core=CoreConfig(),
+            l3=l3,
+            l4=l4,
+            memory=ddr,
+            scale=scale,
+            name=cfg_name,
+        )
+
+    def with_l4(self, **overrides) -> "SystemConfig":
+        """Return a copy with `DRAMCacheConfig` fields replaced."""
+        return dataclasses.replace(
+            self, l4=dataclasses.replace(self.l4, **overrides)
+        )

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: dynamic-indexing cache compression.
+
+* :mod:`repro.core.indexing` — TSI, NSI, and Bandwidth-Aware Indexing.
+* :mod:`repro.core.cip` — Cache Index Predictors (Last-Time Table).
+* :mod:`repro.core.compressed_cache` — compressed Alloy cache with a static
+  index scheme (the paper's "TSI" and "BAI" design points).
+* :mod:`repro.core.dice` — the DICE controller: compressibility-based
+  insertion, index prediction on reads, dual-location residency.
+* :mod:`repro.core.knl` — DICE on a Knights-Landing-style cache whose
+  accesses do not reveal the neighbor set's tag.
+"""
+
+from repro.core.cip import CacheIndexPredictor
+from repro.core.compressed_cache import CompressedDRAMCache
+from repro.core.dice import DICECache
+from repro.core.indexing import bai_index, bai_equals_tsi, nsi_index, tsi_index
+from repro.core.knl import KNLDICECache
+
+__all__ = [
+    "CacheIndexPredictor",
+    "CompressedDRAMCache",
+    "DICECache",
+    "bai_index",
+    "bai_equals_tsi",
+    "nsi_index",
+    "tsi_index",
+    "KNLDICECache",
+]

@@ -1,0 +1,71 @@
+"""Cache Index Predictors (paper Sec 5.3).
+
+With DICE a line may reside at its TSI or its BAI location.  Probing both on
+every read would waste bandwidth, so reads consult a predictor first.  The
+paper's read-path CIP exploits the observation that compressibility is
+strongly correlated within a page: a Last-Time Table (LTT), indexed by a hash
+of the page number, remembers one bit — whether the last resolved access to
+that page found its line at the BAI location.
+
+The write-path predictor needs no table: writes carry data, so the index is
+predicted from the compressed size with the same threshold rule used for
+insertion (Sec 5.2).
+
+An ``oracle`` mode (always correct) and a ``none`` mode (no prediction —
+always probe both locations) support the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CacheIndexPredictor:
+    """Last-Time Table predictor over page-granularity history."""
+
+    LINES_PER_PAGE = 16  # compressibility-correlation region (see
+    # repro.workloads.data: a quarter page at full scale, so scaled-down
+    # footprints still span many regions)
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries <= 0:
+            raise ValueError("LTT needs at least one entry")
+        self._ltt: List[bool] = [False] * entries  # True -> predict BAI
+        self.lookups = 0
+        self.correct = 0
+
+    @staticmethod
+    def page_of(line_addr: int) -> int:
+        return line_addr // CacheIndexPredictor.LINES_PER_PAGE
+
+    def _index(self, page: int) -> int:
+        return (page ^ (page >> 11) ^ (page >> 23)) % len(self._ltt)
+
+    def predict_bai(self, line_addr: int) -> bool:
+        """Predict whether the line was installed at its BAI index."""
+        return self._ltt[self._index(self.page_of(line_addr))]
+
+    def record_outcome(self, line_addr: int, was_bai: bool) -> None:
+        """Train with the resolved location and grade the prediction.
+
+        Only resolvable accesses (hits, or installs whose policy is known)
+        call this; pure misses carry no index information.
+        """
+        idx = self._index(self.page_of(line_addr))
+        self.lookups += 1
+        if self._ltt[idx] == was_bai:
+            self.correct += 1
+        self._ltt[idx] = was_bai
+
+    def update_quietly(self, line_addr: int, was_bai: bool) -> None:
+        """Train without grading (used on installs, which are not reads)."""
+        self._ltt[self._index(self.page_of(line_addr))] = was_bai
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0
+
+    @property
+    def storage_bits(self) -> int:
+        """SRAM cost: one bit per LTT entry (<1 KB at the default 2048)."""
+        return len(self._ltt)

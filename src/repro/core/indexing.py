@@ -1,0 +1,65 @@
+"""Cache set-indexing schemes: TSI, NSI, and Bandwidth-Aware Indexing.
+
+The paper's Sec 4.5 (Fig 6) develops BAI from two requirements:
+
+1. spatially consecutive lines (2i, 2i+1) must map to the *same* set so a
+   compressed access yields two useful lines (bandwidth);
+2. half of all lines must keep their TSI position so switching between the
+   two schemes is cheap, and the alternate location of any line must be the
+   TSI set's immediate neighbor (same DRAM row, tag visible in one access).
+
+Both fall out of one observation: because 2i is even and the set count S is
+even, the TSI sets of a spatial pair are the aligned pair {t, t|1} with
+t = 2i mod S.  BAI places *both* lines of the pair into one of those two
+sets, alternating by address group so capacity stays balanced:
+
+    BAI(L) = (TSI(L) & ~1) | ((L // S) & 1)
+
+NSI ("naive spatial indexing") simply drops the low address bit, which
+co-locates pairs but relocates nearly every line relative to TSI.
+"""
+
+from __future__ import annotations
+
+
+def _check(line_addr: int, num_sets: int) -> None:
+    if num_sets < 2 or num_sets % 2 != 0:
+        raise ValueError("set count must be an even number >= 2")
+    if line_addr < 0:
+        raise ValueError("line address must be non-negative")
+
+
+def tsi_index(line_addr: int, num_sets: int) -> int:
+    """Traditional Set Indexing: consecutive lines to consecutive sets."""
+    _check(line_addr, num_sets)
+    return line_addr % num_sets
+
+
+def nsi_index(line_addr: int, num_sets: int) -> int:
+    """Naive Spatial Indexing: ignore the low line-address bit (Fig 6b)."""
+    _check(line_addr, num_sets)
+    return (line_addr >> 1) % num_sets
+
+
+def bai_index(line_addr: int, num_sets: int) -> int:
+    """Bandwidth-Aware Indexing (Fig 6c)."""
+    _check(line_addr, num_sets)
+    base = (line_addr % num_sets) & ~1
+    parity = (line_addr // num_sets) & 1
+    return base | parity
+
+
+def bai_equals_tsi(line_addr: int, num_sets: int) -> bool:
+    """True for the half of lines whose BAI and TSI locations coincide."""
+    return bai_index(line_addr, num_sets) == tsi_index(line_addr, num_sets)
+
+
+def index_for(scheme: str, line_addr: int, num_sets: int) -> int:
+    """Dispatch by scheme name ("tsi" | "nsi" | "bai")."""
+    if scheme == "tsi":
+        return tsi_index(line_addr, num_sets)
+    if scheme == "nsi":
+        return nsi_index(line_addr, num_sets)
+    if scheme == "bai":
+        return bai_index(line_addr, num_sets)
+    raise ValueError(f"unknown indexing scheme {scheme!r}")

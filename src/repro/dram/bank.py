@@ -1,0 +1,97 @@
+"""One DRAM bank with an open-row buffer and next-free-time scheduling.
+
+The simulator is cycle-accounting rather than cycle-by-cycle: each bank
+tracks the cycle at which it next becomes free and which row its row buffer
+holds.  An access computes its completion time from the requester's arrival
+cycle, the bank's availability, and the row-buffer state (hit, closed, or
+conflict).  This O(1)-per-access model reproduces queueing delay and
+row-locality effects, which is what the paper's bandwidth results hinge on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import DRAMTimings
+
+
+REFRESH_INTERVAL = 12480
+"""tREFI in CPU cycles: 7.8 us at 1.6 GHz DRAM = 3.9 us x 3.2 GHz core."""
+
+REFRESH_CYCLES = 1120
+"""tRFC in CPU cycles (~350 ns): the bank is unavailable while refreshing."""
+
+
+@dataclass
+class Bank:
+    """State of one bank: open row and earliest next command cycle.
+
+    ``page_policy`` selects what happens after a column access:
+
+    * ``"open"`` (default) — the row stays open; a subsequent access to the
+      same row is a cheap row-buffer hit, a different row pays a conflict;
+    * ``"closed"`` — the row auto-precharges, so every access pays
+      activation but never a conflict (better for random traffic).
+
+    ``refresh_enabled`` charges periodic tRFC windows: an access landing
+    inside a refresh stalls until the refresh completes, and refresh closes
+    the row.
+    """
+
+    timings: DRAMTimings
+    page_policy: str = "open"
+    refresh_enabled: bool = False
+    open_row: Optional[int] = None
+    next_free: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refresh_stalls: int = 0
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in ("open", "closed"):
+            raise ValueError(f"unknown page policy {self.page_policy!r}")
+
+    def _refresh_delay(self, start: int) -> int:
+        """Cycles until the refresh window containing ``start`` ends."""
+        position = start % REFRESH_INTERVAL
+        if position < REFRESH_CYCLES:
+            self.refresh_stalls += 1
+            self.open_row = None  # refresh closes the row
+            return REFRESH_CYCLES - position
+        return 0
+
+    def access(self, row: int, arrival: int) -> int:
+        """Perform an access to ``row`` arriving at cycle ``arrival``.
+
+        Returns the cycle at which data transfer may begin (column access
+        done).  Updates row-buffer state and the bank's next-free time.
+        """
+        t = self.timings
+        start = max(arrival, self.next_free)
+        if self.refresh_enabled:
+            start += self._refresh_delay(start)
+        if self.open_row == row:
+            ready = start + t.tCAS
+            self.row_hits += 1
+        elif self.open_row is None:
+            ready = start + t.tRCD + t.tCAS
+            self.row_misses += 1
+        else:
+            ready = start + t.tRP + t.tRCD + t.tCAS
+            self.row_conflicts += 1
+        self.open_row = None if self.page_policy == "closed" else row
+        # The bank is busy until the column access completes; tRAS limits
+        # back-to-back activates but is folded into the conservative
+        # next_free to keep the model O(1).
+        self.next_free = ready
+        return ready
+
+    def reset(self) -> None:
+        self.open_row = None
+        self.next_free = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.refresh_stalls = 0

@@ -1,0 +1,48 @@
+"""One DRAM channel: a shared command/data bus in front of a set of banks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config import DRAMOrganization
+from repro.dram.bank import Bank
+
+
+@dataclass
+class Channel:
+    """A channel owns its banks and serializes data bursts on its bus."""
+
+    organization: DRAMOrganization
+    banks: List[Bank] = field(default_factory=list)
+    bus_next_free: int = 0
+    bytes_transferred: int = 0
+    accesses: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            self.banks = [
+                Bank(self.organization.timings)
+                for _ in range(self.organization.banks_per_channel)
+            ]
+
+    def access(self, bank_index: int, row: int, arrival: int, nbytes: int) -> int:
+        """Serve one access; returns the cycle the last data byte arrives."""
+        bank = self.banks[bank_index % len(self.banks)]
+        col_done = bank.access(row, arrival)
+        burst = self.organization.burst_cycles(nbytes)
+        start = max(col_done, self.bus_next_free)
+        finish = start + burst
+        self.bus_next_free = finish
+        # the bank cannot start another column access until its burst drains
+        bank.next_free = max(bank.next_free, finish)
+        self.bytes_transferred += nbytes
+        self.accesses += 1
+        return finish
+
+    def reset(self) -> None:
+        self.bus_next_free = 0
+        self.bytes_transferred = 0
+        self.accesses = 0
+        for bank in self.banks:
+            bank.reset()

@@ -1,0 +1,75 @@
+"""A whole DRAM device: channels x banks with physical address mapping.
+
+Address mapping interleaves consecutive row-buffer-sized blocks across
+channels and banks (row-interleaved within a bank), the common mapping for
+both stacked DRAM caches and DDR parts.  For the DRAM cache the caller maps
+*set index* -> physical location; for main memory the caller maps line
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import DRAMOrganization
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one device access."""
+
+    finish_cycle: int
+    latency: int
+    row_hit: bool
+
+
+class DRAMDevice:
+    """Channels + banks + address mapping for one DRAM pool."""
+
+    def __init__(self, organization: DRAMOrganization) -> None:
+        from repro.dram.channel import Channel
+
+        self.organization = organization
+        self.channels: List[Channel] = [
+            Channel(organization) for _ in range(organization.channels)
+        ]
+        self._blocks_per_row = max(1, organization.row_buffer_bytes // 64)
+
+    def locate(self, block: int):
+        """Map a 64 B-granularity block number to (channel, bank, row).
+
+        Consecutive blocks stay within one row until it fills, and rows are
+        striped across channels then banks, spreading load while preserving
+        spatial locality within a row buffer.
+        """
+        row_seq = block // self._blocks_per_row
+        nch = self.organization.channels
+        nbk = self.organization.banks_per_channel
+        channel = row_seq % nch
+        bank = (row_seq // nch) % nbk
+        row = row_seq // (nch * nbk)
+        return channel, bank, row
+
+    def access(self, block: int, arrival: int, nbytes: int) -> AccessResult:
+        """One read or write moving ``nbytes`` for the given block."""
+        channel_idx, bank_idx, row = self.locate(block)
+        channel = self.channels[channel_idx]
+        bank = channel.banks[bank_idx]
+        was_hit = bank.open_row == row
+        finish = channel.access(bank_idx, row, arrival, nbytes)
+        return AccessResult(
+            finish_cycle=finish, latency=finish - arrival, row_hit=was_hit
+        )
+
+    @property
+    def total_bytes_transferred(self) -> int:
+        return sum(c.bytes_transferred for c in self.channels)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(c.accesses for c in self.channels)
+
+    def reset(self) -> None:
+        for channel in self.channels:
+            channel.reset()

@@ -1,0 +1,178 @@
+"""FR-FCFS request scheduling over one channel (USIMM-style queues).
+
+The default timing model (`repro.dram.channel`) is O(1) next-free-time
+accounting.  This module provides the higher-fidelity alternative the
+paper's simulator uses: bounded read/write queues per channel (Table 2:
+96 entries) drained by a First-Ready, First-Come-First-Served scheduler —
+row-buffer hits are served before older row misses, reads have priority,
+and writes drain in batches when the write queue fills past a high-water
+mark.
+
+It is deliberately self-contained (drive it with `enqueue` + `drain`) so it
+can be validated independently and used for microarchitectural studies; the
+system simulator keeps the O(1) model for speed, and
+`tests/test_scheduler.py` cross-checks the two models' bandwidth ceilings
+against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.config import DRAMOrganization
+from repro.dram.bank import Bank
+
+
+@dataclass
+class Request:
+    """One queued DRAM request."""
+
+    request_id: int
+    bank: int
+    row: int
+    nbytes: int
+    is_write: bool
+    arrival: int
+    issue_cycle: Optional[int] = None
+    finish_cycle: Optional[int] = None
+
+
+@dataclass
+class SchedulerStats:
+    served_reads: int = 0
+    served_writes: int = 0
+    row_hits: int = 0
+    write_drains: int = 0
+    total_queue_wait: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.served_reads + self.served_writes
+        return self.row_hits / total if total else 0.0
+
+
+class FRFCFSChannel:
+    """One channel with FR-FCFS scheduling and bounded queues."""
+
+    def __init__(
+        self,
+        organization: DRAMOrganization,
+        *,
+        read_queue_depth: int = 96,
+        write_queue_depth: int = 96,
+        write_high_water: float = 0.75,
+        write_low_water: float = 0.25,
+    ) -> None:
+        if not 0.0 <= write_low_water < write_high_water <= 1.0:
+            raise ValueError("water marks must satisfy 0 <= low < high <= 1")
+        self.organization = organization
+        self.banks = [
+            Bank(organization.timings)
+            for _ in range(organization.banks_per_channel)
+        ]
+        self.read_queue: List[Request] = []
+        self.write_queue: List[Request] = []
+        self.read_queue_depth = read_queue_depth
+        self.write_queue_depth = write_queue_depth
+        self._write_high = int(write_queue_depth * write_high_water)
+        self._write_low = int(write_queue_depth * write_low_water)
+        self._draining_writes = False
+        self.bus_next_free = 0
+        self.now = 0
+        self.stats = SchedulerStats()
+        self._next_id = 0
+
+    # -- queue admission ------------------------------------------------------
+
+    def enqueue(
+        self, bank: int, row: int, nbytes: int, *, is_write: bool, arrival: int
+    ) -> Optional[Request]:
+        """Admit a request, or return None when its queue is full
+        (back-pressure the caller must model)."""
+        queue = self.write_queue if is_write else self.read_queue
+        depth = self.write_queue_depth if is_write else self.read_queue_depth
+        if len(queue) >= depth:
+            return None
+        request = Request(
+            request_id=self._next_id,
+            bank=bank % len(self.banks),
+            row=row,
+            nbytes=nbytes,
+            is_write=is_write,
+            arrival=arrival,
+        )
+        self._next_id += 1
+        queue.append(request)
+        return request
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _pick(self, queue: List[Request]) -> Optional[Request]:
+        """FR-FCFS: oldest row-buffer hit, else oldest request."""
+        ready = None
+        for request in queue:  # queues are in arrival order
+            bank = self.banks[request.bank]
+            if bank.open_row == request.row:
+                ready = request
+                break
+        return ready if ready is not None else (queue[0] if queue else None)
+
+    def _select_queue(self) -> Optional[List[Request]]:
+        writes_pressing = len(self.write_queue) >= self._write_high
+        if writes_pressing:
+            self._draining_writes = True
+        if self._draining_writes and len(self.write_queue) <= self._write_low:
+            self._draining_writes = False
+        if self._draining_writes and self.write_queue:
+            return self.write_queue
+        if self.read_queue:
+            return self.read_queue
+        if self.write_queue:
+            return self.write_queue
+        return None
+
+    def step(self) -> Optional[Request]:
+        """Issue one request; returns it with timing filled, or None."""
+        queue = self._select_queue()
+        if queue is None:
+            return None
+        request = self._pick(queue)
+        assert request is not None
+        queue.remove(request)
+        bank = self.banks[request.bank]
+        start = max(self.now, request.arrival)
+        was_hit = bank.open_row == request.row
+        col_done = bank.access(request.row, start)
+        burst = self.organization.burst_cycles(request.nbytes)
+        begin = max(col_done, self.bus_next_free)
+        finish = begin + burst
+        self.bus_next_free = finish
+        bank.next_free = max(bank.next_free, finish)
+        request.issue_cycle = start
+        request.finish_cycle = finish
+        self.now = max(self.now, start)
+        self.stats.total_queue_wait += max(0, start - request.arrival)
+        if was_hit:
+            self.stats.row_hits += 1
+        if request.is_write:
+            self.stats.served_writes += 1
+            if self._draining_writes:
+                self.stats.write_drains += 1
+        else:
+            self.stats.served_reads += 1
+        return request
+
+    def drain(self) -> List[Request]:
+        """Serve everything queued; returns requests in completion order."""
+        served: List[Request] = []
+        while self.read_queue or self.write_queue:
+            request = self.step()
+            if request is None:
+                break
+            served.append(request)
+        return served
+
+    @property
+    def occupancy(self) -> Tuple[int, int]:
+        return len(self.read_queue), len(self.write_queue)

@@ -1,0 +1,27 @@
+"""Stacked-DRAM cache substrate: Alloy organization, set packing, predictors.
+
+The paper builds on the Alloy Cache (Qureshi & Loh, MICRO 2012): a
+direct-mapped DRAM cache whose tags live inline with data as 72 B
+Tag-and-Data (TAD) entries.  Because the controller may interpret any DRAM
+bit as tag or data, a 72 B set can instead hold several *compressed* lines
+with dynamically allocated 4 B tags (paper Fig 5) — that flexibility is what
+makes DRAM-cache compression nearly free.
+"""
+
+from repro.dramcache.alloy import AlloyCache
+from repro.dramcache.cset import CompressedSet, StoredLine
+from repro.dramcache.mapi import MAPIPredictor
+from repro.dramcache.serializer import deserialize_set, serialize_set
+from repro.dramcache.tad import SET_DATA_BYTES, TagEntry, set_layout_bytes
+
+__all__ = [
+    "AlloyCache",
+    "CompressedSet",
+    "StoredLine",
+    "MAPIPredictor",
+    "deserialize_set",
+    "serialize_set",
+    "SET_DATA_BYTES",
+    "TagEntry",
+    "set_layout_bytes",
+]

@@ -1,0 +1,52 @@
+"""MAP-I style hit/miss prediction for the DRAM cache (Qureshi & Loh 2012).
+
+Alloy Cache pairs its direct-mapped array with a Memory Access Predictor so
+that on a predicted miss the main-memory access launches in parallel with the
+cache probe, hiding the probe latency.  MAP-I indexes a table of saturating
+counters by (hashed) instruction address; counters train toward "miss" on
+observed misses.
+
+A mispredicted miss (line actually hits) costs wasted memory bandwidth; a
+mispredicted hit serializes the memory access behind the probe.  Both costs
+are modeled by the system timing layer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class MAPIPredictor:
+    """Instruction-indexed saturating-counter hit/miss predictor."""
+
+    def __init__(self, entries: int = 256, bits: int = 3) -> None:
+        if entries <= 0:
+            raise ValueError("predictor needs at least one entry")
+        self._counters: List[int] = [0] * entries
+        self._max = (1 << bits) - 1
+        self._threshold = (self._max + 1) // 2
+        self.predictions = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (pc >> 7) ^ (pc >> 17)) % len(self._counters)
+
+    def predict_miss(self, pc: int) -> bool:
+        """True if the access is predicted to miss the DRAM cache."""
+        return self._counters[self._index(pc)] >= self._threshold
+
+    def update(self, pc: int, was_miss: bool) -> None:
+        """Train on the resolved outcome and track accuracy."""
+        idx = self._index(pc)
+        predicted_miss = self._counters[idx] >= self._threshold
+        self.predictions += 1
+        if predicted_miss == was_miss:
+            self.correct += 1
+        if was_miss:
+            self._counters[idx] = min(self._max, self._counters[idx] + 1)
+        else:
+            self._counters[idx] = max(0, self._counters[idx] - 1)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0

@@ -1,0 +1,471 @@
+"""Bit-exact on-media codec for one compressed 72 B DRAM-cache set.
+
+`CompressedSet` tracks residency and byte budgets abstractly; this module
+materializes the actual 72-byte DRAM image of Fig 5 — variable-count 4 B tag
+words followed by bit-packed compressed payloads — and decodes it back.
+Round-tripping through the image proves the format the paper sketches is
+actually sufficient: 18-bit tags + 9 metadata bits per line really do
+describe every encoding the cache stores.
+
+Layout
+------
+* Tag words first, each a :class:`~repro.dramcache.tad.TagEntry`.  The
+  `next_tag_valid` bit chains them; the last tag word has it clear.
+* The 9 metadata bits carry: 2-bit algorithm (raw / ZCA-zero / FPC / BDI),
+  3-bit BDI encoding selector, a `has_mask` bit (set when the BDI immediate
+  mask must spill into the data region), and the line address's low bit
+  (needed because a BAI-placed line's two possible addresses are otherwise
+  indistinguishable from its set index and tag alone — see `_recover_addr`).
+* Payloads follow the tags in tag order, byte-aligned.  FPC streams are
+  self-terminating (they decode until 16 words are produced); BDI sizes
+  follow from the selector; a spilled mask adds ceil(n/8) bytes.
+* Two spatially adjacent lines stored with one shared tag (`shared` bit)
+  co-compress: the second line's BDI payload drops its base.
+
+The canonical size accounting used for packing (`StoredLine.size`) treats
+selector and mask as tag metadata, per the paper.  Masks wider than the
+metadata field must spill, so a mask-bearing line's *image* is up to 4 bytes
+larger than its canonical size; :func:`serialize_set` therefore reports
+whether the physical image fits rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.compression.bdi import BDIEncoding, best_encoding, try_encode
+from repro.compression.fpc import FPCCompressor
+from repro.config import LINE_SIZE
+from repro.dramcache.cset import CompressedSet, StoredLine
+from repro.dramcache.tad import SET_DATA_BYTES, TagEntry
+from repro.core.indexing import bai_index, tsi_index
+
+_ALGO_RAW = 0
+_ALGO_ZERO = 1
+_ALGO_FPC = 2
+_ALGO_BDI = 3
+
+# BDI selector values (3 bits): rep8 then the six (base, delta) encodings.
+_BDI_SELECTORS: Tuple[Tuple[int, int], ...] = (
+    (8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1),
+)
+_SEL_REP8 = 6
+
+_FPC_PATTERNS = (
+    "zero_run", "se4", "se8", "se16",
+    "half_zero", "two_half_se8", "rep_byte", "raw",
+)
+_FPC_RESIDUE_BITS = {
+    "zero_run": 3, "se4": 4, "se8": 8, "se16": 16,
+    "half_zero": 16, "two_half_se8": 16, "rep_byte": 8, "raw": 32,
+}
+
+_fpc = FPCCompressor()
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, nbits: int) -> None:
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit {nbits} bits")
+        for i in range(nbits - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        bits = self._bits
+        for i in range(0, len(bits), 8):
+            byte = 0
+            for bit in bits[i : i + 8]:
+                byte = (byte << 1) | bit
+            byte <<= max(0, 8 - len(bits[i : i + 8]))
+            out.append(byte)
+        return bytes(out)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class BitReader:
+    """MSB-first bit consumer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, nbits: int) -> int:
+        value = 0
+        for _ in range(nbits):
+            byte = self._data[self._pos >> 3]
+            bit = (byte >> (7 - (self._pos & 7))) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+
+# -- FPC payload <-> bits ------------------------------------------------------
+
+
+def fpc_to_bytes(tokens) -> bytes:
+    """Pack an FPC token stream into its hardware bit layout.
+
+    Zero runs span 1-8 words; their 3-bit residue stores run-1.
+    """
+    writer = BitWriter()
+    for pattern, residue in tokens:
+        writer.write(_FPC_PATTERNS.index(pattern), 3)
+        if pattern == "zero_run":
+            residue -= 1
+        writer.write(residue, _FPC_RESIDUE_BITS[pattern])
+    return writer.to_bytes()
+
+
+def fpc_from_bytes(data: bytes) -> Tuple[tuple, int]:
+    """Decode an FPC stream; returns (tokens, bytes consumed)."""
+    reader = BitReader(data)
+    tokens = []
+    words = 0
+    while words < LINE_SIZE // 4:
+        pattern = _FPC_PATTERNS[reader.read(3)]
+        residue = reader.read(_FPC_RESIDUE_BITS[pattern])
+        if pattern == "zero_run":
+            residue += 1
+        tokens.append((pattern, residue))
+        words += residue if pattern == "zero_run" else 1
+    return tuple(tokens), (reader.bit_position + 7) // 8
+
+
+# -- BDI payload <-> bits -------------------------------------------------------
+
+
+def _mask_bytes(enc: BDIEncoding) -> int:
+    return (enc.num_elements + 7) // 8
+
+
+def _needs_mask(enc: BDIEncoding) -> bool:
+    return any(enc.from_zero)
+
+
+def bdi_to_bytes(enc: BDIEncoding, *, drop_base: bool = False) -> bytes:
+    """Pack base (unless shared/dropped) + deltas (+ spilled mask)."""
+    out = bytearray()
+    if not drop_base:
+        out += enc.base.to_bytes(enc.base_bytes, "little")
+    half = 1 << (8 * enc.delta_bytes - 1)
+    mask_range = 1 << (8 * enc.delta_bytes)
+    for delta in enc.deltas:
+        out += (delta & (mask_range - 1)).to_bytes(enc.delta_bytes, "little")
+    if _needs_mask(enc):
+        mask_value = 0
+        for i, flag in enumerate(enc.from_zero):
+            if flag:
+                mask_value |= 1 << i
+        out += mask_value.to_bytes(_mask_bytes(enc), "little")
+    return bytes(out)
+
+
+def bdi_from_bytes(
+    data: bytes,
+    base_bytes: int,
+    delta_bytes: int,
+    *,
+    has_mask: bool,
+    shared_base: Optional[int] = None,
+) -> Tuple[BDIEncoding, int]:
+    """Decode one BDI payload; returns (encoding, bytes consumed)."""
+    pos = 0
+    if shared_base is None:
+        base = int.from_bytes(data[:base_bytes], "little")
+        pos = base_bytes
+    else:
+        base = shared_base
+    count = LINE_SIZE // base_bytes
+    half = 1 << (8 * delta_bytes - 1)
+    deltas = []
+    for _ in range(count):
+        raw = int.from_bytes(data[pos : pos + delta_bytes], "little")
+        deltas.append(raw - (1 << (8 * delta_bytes)) if raw >= half else raw)
+        pos += delta_bytes
+    from_zero = [False] * count
+    if has_mask:
+        nmask = (count + 7) // 8
+        mask_value = int.from_bytes(data[pos : pos + nmask], "little")
+        from_zero = [(mask_value >> i) & 1 == 1 for i in range(count)]
+        pos += nmask
+    return (
+        BDIEncoding(
+            base_bytes=base_bytes,
+            delta_bytes=delta_bytes,
+            base=base,
+            deltas=tuple(deltas),
+            from_zero=tuple(from_zero),
+        ),
+        pos,
+    )
+
+
+# -- per-line encoding choice ----------------------------------------------------
+
+
+@dataclass
+class _LinePlan:
+    """How one stored line (or shared pair) will appear in the image."""
+
+    line: StoredLine
+    algo: int
+    selector: int = 0
+    encoding: Optional[BDIEncoding] = None
+    payload: bytes = b""
+    shares_with_prev: bool = False  # second half of a shared-tag pair
+    pair_buddy: Optional[StoredLine] = None  # odd line riding this tag
+
+
+def _plan_line(line: StoredLine, shared_base_enc: Optional[BDIEncoding]) -> _LinePlan:
+    data = line.data
+    if data == bytes(LINE_SIZE):
+        return _LinePlan(line, _ALGO_ZERO, payload=b"\x00")
+    if shared_base_enc is not None:
+        follow = try_encode(
+            data,
+            shared_base_enc.base_bytes,
+            shared_base_enc.delta_bytes,
+            base=shared_base_enc.base,
+        )
+        if follow is not None:
+            return _LinePlan(
+                line,
+                _ALGO_BDI,
+                selector=_BDI_SELECTORS.index(
+                    (follow.base_bytes, follow.delta_bytes)
+                ),
+                encoding=follow,
+                payload=bdi_to_bytes(follow, drop_base=True),
+                shares_with_prev=True,
+            )
+    if data == data[:8] * 8:
+        return _LinePlan(
+            line, _ALGO_BDI, selector=_SEL_REP8, payload=data[:8]
+        )
+    bdi_enc = best_encoding(data)
+    fpc_line = _fpc.compress(data)
+    bdi_size = bdi_enc.size + (_mask_bytes(bdi_enc) if _needs_mask(bdi_enc) else 0) if bdi_enc else LINE_SIZE + 1
+    if bdi_enc is not None and bdi_size <= fpc_line.size and bdi_size < LINE_SIZE:
+        return _LinePlan(
+            line,
+            _ALGO_BDI,
+            selector=_BDI_SELECTORS.index((bdi_enc.base_bytes, bdi_enc.delta_bytes)),
+            encoding=bdi_enc,
+            payload=bdi_to_bytes(bdi_enc),
+        )
+    if fpc_line.size < LINE_SIZE:
+        return _LinePlan(
+            line, _ALGO_FPC, payload=fpc_to_bytes(fpc_line.payload)
+        )
+    return _LinePlan(line, _ALGO_RAW, payload=data)
+
+
+def _plan_set(cset: CompressedSet) -> List[_LinePlan]:
+    """Plan encodings; a sharable adjacent pair collapses onto one tag.
+
+    A pair shares a tag (and the lead's BDI base) when the even line
+    BDI-encodes, the odd line encodes against the same base/widths, and
+    neither needs a spilled immediate mask — the hardware's shared-tag
+    fast path.  Anything else gets its own tag word.
+    """
+    plans: List[_LinePlan] = []
+    done = set()
+    for addr in sorted(cset.lines):
+        if addr in done:
+            continue
+        line = cset.lines[addr]
+        lead = _plan_line(line, None)
+        done.add(addr)
+        buddy = (
+            cset.lines.get(addr + 1)
+            if cset.tag_sharing and addr % 2 == 0
+            else None
+        )
+        if (
+            buddy is not None
+            and lead.encoding is not None
+            and not _needs_mask(lead.encoding)
+        ):
+            follower = _plan_line(buddy, lead.encoding)
+            if (
+                follower.shares_with_prev
+                and follower.encoding is not None
+                and not _needs_mask(follower.encoding)
+            ):
+                lead.pair_buddy = buddy
+                lead.payload += follower.payload
+                done.add(addr + 1)
+        plans.append(lead)
+    return plans
+
+
+# -- set <-> image ------------------------------------------------------------------
+
+
+def _metadata(plan: _LinePlan, addr_lsb: int) -> int:
+    has_mask = int(
+        plan.algo == _ALGO_BDI
+        and plan.encoding is not None
+        and _needs_mask(plan.encoding)
+    )
+    return (
+        plan.algo
+        | (plan.selector << 2)
+        | (has_mask << 5)
+        | (addr_lsb << 6)
+    )
+
+
+def serialize_set(
+    cset: CompressedSet, num_sets: int, set_index: int
+) -> Optional[bytes]:
+    """Render the 72 B image, or None if the physical layout cannot fit.
+
+    (Canonical accounting counts BDI masks as tag metadata; a set packed to
+    exactly 72 canonical bytes whose lines carry spilled masks may not have
+    a physical image.)
+    """
+    plans = _plan_set(cset)
+    if not plans:
+        return bytes(SET_DATA_BYTES)
+    tag_words = bytearray()
+    payload = bytearray()
+    for i, plan in enumerate(plans):
+        addr = plan.line.line_addr
+        dirty = plan.line.dirty or (
+            plan.pair_buddy is not None and plan.pair_buddy.dirty
+        )
+        entry = TagEntry(
+            tag=addr // num_sets,
+            valid=True,
+            dirty=dirty,
+            next_tag_valid=i + 1 < len(plans),
+            bai=plan.line.bai,
+            shared=plan.pair_buddy is not None,
+            metadata=_metadata(plan, addr & 1),
+        )
+        tag_words += entry.encode().to_bytes(4, "little")
+        payload += plan.payload
+    image = bytes(tag_words) + bytes(payload)
+    if len(image) > SET_DATA_BYTES:
+        return None
+    return image + bytes(SET_DATA_BYTES - len(image))
+
+
+def _recover_addr(entry: TagEntry, num_sets: int, set_index: int) -> int:
+    """Invert the tag: the set index, tag bits, and stored address LSB
+    pin the line address under either indexing scheme."""
+    addr_lsb = (entry.metadata >> 6) & 1
+    tag = entry.tag
+    if not entry.bai:
+        residue = set_index
+        addr = tag * num_sets + residue
+        if addr & 1 != addr_lsb:  # TSI residue fixes parity; must agree
+            raise ValueError("corrupt tag: TSI parity mismatch")
+        return addr
+    residue = (set_index & ~1) | addr_lsb
+    for candidate_residue in (residue, residue ^ 1):
+        addr = tag * num_sets + candidate_residue
+        if addr & 1 == addr_lsb and bai_index(addr, num_sets) == set_index:
+            return addr
+    raise ValueError("corrupt tag: no address maps here under BAI")
+
+
+def deserialize_set(
+    image: bytes, num_sets: int, set_index: int
+) -> List[StoredLine]:
+    """Decode a 72 B image back into stored lines with exact data."""
+    if len(image) != SET_DATA_BYTES:
+        raise ValueError(f"expected a {SET_DATA_BYTES} B image")
+    entries: List[TagEntry] = []
+    pos = 0
+    while True:
+        word = int.from_bytes(image[pos : pos + 4], "little")
+        entry = TagEntry.decode(word)
+        if not entry.valid and not entries:
+            return []  # empty set sentinel (all-zero image)
+        entries.append(entry)
+        pos += 4
+        if not entry.next_tag_valid:
+            break
+    lines: List[StoredLine] = []
+    payload = image[pos:]
+    offset = 0
+    from repro.compression.bdi import decode as bdi_decode
+
+    def emit(
+        addr: int, data: bytes, entry: TagEntry, *, shared_member: bool = False
+    ) -> None:
+        # A shared tag carries one BAI bit for two lines whose placement
+        # status can differ (one may be at its TSI position).  The bit's
+        # physical meaning is "not at the TSI location", so for pair
+        # members it is recomputed from the indexing itself.
+        if shared_member:
+            bai = tsi_index(addr, num_sets) != set_index
+        else:
+            bai = entry.bai
+        lines.append(
+            StoredLine(
+                line_addr=addr,
+                data=data,
+                size=len(data),  # canonical size not stored on media
+                dirty=entry.dirty,
+                bai=bai,
+            )
+        )
+
+    for entry in entries:
+        algo = entry.metadata & 0x3
+        selector = (entry.metadata >> 2) & 0x7
+        has_mask = bool((entry.metadata >> 5) & 1)
+        addr = _recover_addr(entry, num_sets, set_index)
+        if algo == _ALGO_ZERO:
+            emit(addr, bytes(LINE_SIZE), entry)
+            offset += 1
+        elif algo == _ALGO_RAW:
+            emit(addr, bytes(payload[offset : offset + LINE_SIZE]), entry)
+            offset += LINE_SIZE
+        elif algo == _ALGO_FPC:
+            tokens, consumed = fpc_from_bytes(payload[offset:])
+            from repro.compression.base import CompressedLine
+
+            emit(
+                addr,
+                _fpc.decompress(CompressedLine("fpc", min(64, consumed), tokens)),
+                entry,
+            )
+            offset += consumed
+        elif selector == _SEL_REP8:  # BDI repeated 8-byte value
+            emit(addr, bytes(payload[offset : offset + 8]) * 8, entry)
+            offset += 8
+        else:  # BDI base+delta, possibly a shared-tag pair
+            base_bytes, delta_bytes = _BDI_SELECTORS[selector]
+            enc, consumed = bdi_from_bytes(
+                payload[offset:], base_bytes, delta_bytes, has_mask=has_mask
+            )
+            emit(addr, bdi_decode(enc), entry, shared_member=entry.shared)
+            offset += consumed
+            if entry.shared:
+                follower, consumed = bdi_from_bytes(
+                    payload[offset:],
+                    base_bytes,
+                    delta_bytes,
+                    has_mask=False,
+                    shared_base=enc.base,
+                )
+                emit(addr + 1, bdi_decode(follower), entry, shared_member=True)
+                offset += consumed
+    return lines

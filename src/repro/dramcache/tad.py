@@ -1,0 +1,91 @@
+"""Tag-and-Data layout of one 72 B Alloy set (paper Figs 2 and 5).
+
+Uncompressed, a set is one TAD: an 8 B tag beside a 64 B line.  Compressed,
+the same 72 bytes hold a variable number of 4 B tag entries followed by
+variable-sized compressed data.  Each tag entry carries:
+
+* 18-bit tag (enough for a 1 GB direct-mapped cache in a 48-bit PA space),
+* valid and dirty bits,
+* a *Next Tag Valid* bit marking whether the following 4 B is another tag,
+* a *BAI* bit distinguishing the direct-mapped resident from a spatial
+  neighbor placed here by bandwidth-aware indexing,
+* a *Shared Tag* bit for a pair of co-compressed adjacent lines,
+* up to 9 bits of compression metadata (FPC/BDI selector, encoding, size).
+
+This module computes byte budgets for the packing logic in
+:mod:`repro.dramcache.cset` and provides a bit-accurate encode/decode of the
+tag word so tests can verify the format round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TAD_BYTES, TAG_BYTES_COMPRESSED
+
+SET_DATA_BYTES = TAD_BYTES
+"""Total bytes available in a set for tags + compressed data."""
+
+TAG_BITS = 18
+_VALID_BIT = 1 << 18
+_DIRTY_BIT = 1 << 19
+_NEXT_TAG_VALID_BIT = 1 << 20
+_BAI_BIT = 1 << 21
+_SHARED_TAG_BIT = 1 << 22
+_META_SHIFT = 23
+_META_BITS = 9
+
+
+@dataclass(frozen=True)
+class TagEntry:
+    """Decoded view of one 4 B tag word."""
+
+    tag: int
+    valid: bool = True
+    dirty: bool = False
+    next_tag_valid: bool = False
+    bai: bool = False
+    shared: bool = False
+    metadata: int = 0
+
+    def encode(self) -> int:
+        """Pack into a 32-bit word."""
+        if not 0 <= self.tag < (1 << TAG_BITS):
+            raise ValueError(f"tag {self.tag:#x} exceeds {TAG_BITS} bits")
+        if not 0 <= self.metadata < (1 << _META_BITS):
+            raise ValueError(f"metadata {self.metadata:#x} exceeds {_META_BITS} bits")
+        word = self.tag
+        if self.valid:
+            word |= _VALID_BIT
+        if self.dirty:
+            word |= _DIRTY_BIT
+        if self.next_tag_valid:
+            word |= _NEXT_TAG_VALID_BIT
+        if self.bai:
+            word |= _BAI_BIT
+        if self.shared:
+            word |= _SHARED_TAG_BIT
+        word |= self.metadata << _META_SHIFT
+        return word
+
+    @staticmethod
+    def decode(word: int) -> "TagEntry":
+        """Unpack a 32-bit tag word."""
+        if not 0 <= word < (1 << 32):
+            raise ValueError("tag word must fit in 32 bits")
+        return TagEntry(
+            tag=word & ((1 << TAG_BITS) - 1),
+            valid=bool(word & _VALID_BIT),
+            dirty=bool(word & _DIRTY_BIT),
+            next_tag_valid=bool(word & _NEXT_TAG_VALID_BIT),
+            bai=bool(word & _BAI_BIT),
+            shared=bool(word & _SHARED_TAG_BIT),
+            metadata=(word >> _META_SHIFT) & ((1 << _META_BITS) - 1),
+        )
+
+
+def set_layout_bytes(num_tags: int, data_bytes: int) -> int:
+    """Total bytes a set layout occupies: tags then data."""
+    if num_tags < 0 or data_bytes < 0:
+        raise ValueError("layout components must be non-negative")
+    return num_tags * TAG_BYTES_COMPRESSED + data_bytes

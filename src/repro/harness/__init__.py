@@ -1,0 +1,25 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.harness.runner import (
+    STANDARD_CONFIGS,
+    cached_run,
+    clear_cache,
+    make_config,
+    resolve_config,
+    speedup,
+)
+from repro.harness.report import format_table, geomean
+from repro.harness.sweeps import sweep_l4, threshold_sweep
+
+__all__ = [
+    "STANDARD_CONFIGS",
+    "cached_run",
+    "clear_cache",
+    "make_config",
+    "resolve_config",
+    "speedup",
+    "format_table",
+    "geomean",
+    "sweep_l4",
+    "threshold_sweep",
+]

@@ -1,0 +1,95 @@
+"""Command-line entry point: regenerate any paper figure/table.
+
+Usage::
+
+    python -m repro.harness.cli list
+    python -m repro.harness.cli fig10
+    python -m repro.harness.cli table4 --accesses 8000
+    python -m repro.harness.cli all
+
+Results are cached on disk, so regenerating a second figure that shares
+configurations with the first is nearly instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+from repro.sim.engine import SimulationParams
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
+    "fig1": ("Fig 1(f): potential from doubling cache resources", experiments.fig01_potential),
+    "fig4": ("Fig 4: compressibility of installed lines", None),  # special-cased
+    "fig7": ("Fig 7: TSI and BAI vs doubled caches", experiments.fig07_tsi_bai),
+    "fig10": ("Fig 10: DICE headline speedups", experiments.fig10_dice),
+    "fig11": ("Fig 11: DICE index distribution", experiments.fig11_index_distribution),
+    "fig12": ("Fig 12: DICE on KNL", experiments.fig12_knl),
+    "fig13": ("Fig 13: non-memory-intensive workloads", experiments.fig13_nonintensive),
+    "fig14": ("Fig 14: energy and EDP", experiments.fig14_energy),
+    "fig15": ("Fig 15: SCC vs DICE", experiments.fig15_scc),
+    "table4": ("Table 4: threshold sensitivity", experiments.table4_threshold),
+    "table5": ("Table 5: effective capacity", experiments.table5_capacity),
+    "table6": ("Table 6: L3 hit rate", experiments.table6_l3_hitrate),
+    "table7": ("Table 7: prefetch comparison", experiments.table7_prefetch),
+    "table8": ("Table 8: design-point sensitivity", experiments.table8_sensitivity),
+    "cip": ("Sec 5.3: CIP accuracy", experiments.sec53_cip_accuracy),
+}
+
+
+def run_one(key: str, params: SimulationParams) -> None:
+    title, fn = EXPERIMENTS[key]
+    if key == "fig4":
+        headers, rows, summary = experiments.fig04_compressibility()
+    else:
+        headers, rows, summary = fn(params)
+    print(format_table(headers, rows, title=title))
+    print()
+    for name, value in summary.items():
+        print(f"  {name:28s} {value:8.3f}")
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate DICE (ISCA 2017) figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment key (see `list`), or `all`, or `list`",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=None,
+        help="L3 accesses per core (default: REPRO_ACCESSES or 6000)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (title, _fn) in EXPERIMENTS.items():
+            print(f"  {key:8s} {title}")
+        return 0
+
+    from repro.harness.runner import DEFAULT_ACCESSES
+
+    params = SimulationParams(
+        accesses_per_core=args.accesses or DEFAULT_ACCESSES, seed=args.seed
+    )
+    keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        if key not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {key!r}; try `list`"
+            )
+        run_one(key, params)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""One driver per paper figure/table (see DESIGN.md experiment index).
+
+Every driver returns ``(headers, rows, summary)`` where rows are per-workload
+results and ``summary`` aggregates over the paper's reporting groups.  The
+benchmark files print these with :func:`repro.harness.report.format_table`,
+producing the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compression.hybrid import HybridCompressor
+from repro.compression.pair import pair_compressed_size
+from repro.harness.report import geomean, group_geomeans
+from repro.harness.runner import DEFAULT_SCALE, cached_run, speedup
+from repro.sim.engine import SimulationParams
+from repro.workloads.registry import (
+    GAP_WORKLOADS,
+    MIX_WORKLOADS,
+    NON_INTENSIVE,
+    SPEC_RATE,
+    get_profile,
+    workload_names,
+)
+from repro.workloads.base import TraceGenerator
+
+Rows = List[List[object]]
+Summary = Dict[str, float]
+
+GROUPS = {
+    "SPEC RATE": SPEC_RATE,
+    "SPEC MIX": MIX_WORKLOADS,
+    "GAP": GAP_WORKLOADS,
+    "ALL26": SPEC_RATE + MIX_WORKLOADS + GAP_WORKLOADS,
+}
+
+
+def _speedup_experiment(
+    configs: Sequence[str],
+    workloads: Optional[Sequence[str]] = None,
+    baseline: str = "base",
+    params: Optional[SimulationParams] = None,
+) -> Tuple[List[str], Rows, Summary]:
+    """Shared shape of most figures: per-workload speedup per config."""
+    workloads = list(workloads or workload_names("all26"))
+    headers = ["workload"] + list(configs)
+    rows: Rows = []
+    per_config: Dict[str, Dict[str, float]] = {c: {} for c in configs}
+    for wl in workloads:
+        row: List[object] = [wl]
+        for cfg in configs:
+            s = speedup(wl, cfg, baseline, params=params)
+            per_config[cfg][wl] = s
+            row.append(s)
+        rows.append(row)
+    summary: Summary = {}
+    for cfg in configs:
+        means = group_geomeans(per_config[cfg], GROUPS)
+        for group, value in means.items():
+            summary[f"{cfg}/{group}"] = value
+    return headers, rows, summary
+
+
+# -- Figure 1(f) / Sec 2.4: potential from doubling capacity / bandwidth -----
+
+def fig01_potential(params: Optional[SimulationParams] = None):
+    """Speedup from 2x capacity, 2x bandwidth, and both (Fig 1f)."""
+    return _speedup_experiment(["2xcap", "2xbw", "2xcap2xbw"], params=params)
+
+
+# -- Figure 4: compressibility of installed lines ----------------------------
+
+def fig04_compressibility(
+    lines_per_workload: int = 2000,
+) -> Tuple[List[str], Rows, Summary]:
+    """% of lines <=32 B, <=36 B, and adjacent pairs <=68 B (Fig 4)."""
+    compressor = HybridCompressor()
+    headers = ["workload", "single<=32", "single<=36", "double<=68"]
+    rows: Rows = []
+    all26 = workload_names("all26")
+    acc = {"single<=32": [], "single<=36": [], "double<=68": []}
+    for wl in all26:
+        if wl in MIX_WORKLOADS:
+            continue  # Fig 4 plots the 22 single workloads
+        gen = TraceGenerator(get_profile(wl), scale=DEFAULT_SCALE, seed=11)
+        le32 = le36 = le68 = 0
+        pairs = 0
+        seen = 0
+        it = iter(gen)
+        while seen < lines_per_workload:
+            access = next(it)
+            base_addr = access.line_addr & ~1
+            a = gen.line_data(base_addr)
+            b = gen.line_data(base_addr + 1)
+            for data in (a, b):
+                size = compressor.compressed_size(data)
+                le32 += size <= 32
+                le36 += size <= 36
+                seen += 1
+            le68 += pair_compressed_size(compressor, a, b)[0] <= 68
+            pairs += 1
+        row = [wl, 100.0 * le32 / seen, 100.0 * le36 / seen, 100.0 * le68 / pairs]
+        rows.append(row)
+        acc["single<=32"].append(row[1])
+        acc["single<=36"].append(row[2])
+        acc["double<=68"].append(row[3])
+    summary = {k: sum(v) / len(v) for k, v in acc.items()}
+    return headers, rows, summary
+
+
+# -- Figures 7 and 10: static schemes and DICE --------------------------------
+
+def fig07_tsi_bai(params: Optional[SimulationParams] = None):
+    """TSI and BAI vs doubling capacity/bandwidth (Fig 7)."""
+    return _speedup_experiment(
+        ["tsi", "bai", "2xcap", "2xcap2xbw"], params=params
+    )
+
+
+def fig10_dice(params: Optional[SimulationParams] = None):
+    """TSI, BAI, DICE vs the 2x-capacity 2x-bandwidth cache (Fig 10)."""
+    return _speedup_experiment(
+        ["tsi", "bai", "dice", "2xcap2xbw"], params=params
+    )
+
+
+# -- Figure 11: distribution of indices under DICE ----------------------------
+
+def fig11_index_distribution(params: Optional[SimulationParams] = None):
+    """Install-time index selection: invariant / TSI / BAI shares."""
+    headers = ["workload", "invariant%", "tsi%", "bai%"]
+    rows: Rows = []
+    tsi_shares: List[float] = []
+    bai_shares: List[float] = []
+    for wl in workload_names("all26"):
+        r = cached_run(wl, "dice", params=params)
+        inv, tsi, bai = r.index_distribution or (0.0, 0.0, 0.0)
+        rows.append([wl, 100 * inv, 100 * tsi, 100 * bai])
+        denom = tsi + bai
+        if denom > 0:
+            tsi_shares.append(tsi / denom)
+            bai_shares.append(bai / denom)
+    summary = {
+        "decided/tsi_share": 100 * sum(tsi_shares) / max(1, len(tsi_shares)),
+        "decided/bai_share": 100 * sum(bai_shares) / max(1, len(bai_shares)),
+    }
+    return headers, rows, summary
+
+
+# -- Figure 12: DICE on Knights Landing ---------------------------------------
+
+def fig12_knl(params: Optional[SimulationParams] = None):
+    """DICE on a tags-in-ECC (no neighbor tag) cache."""
+    return _speedup_experiment(["dice-knl", "dice"], params=params)
+
+
+# -- Figure 13: non-memory-intensive workloads ---------------------------------
+
+def fig13_nonintensive(params: Optional[SimulationParams] = None):
+    """DICE on the SPEC benchmarks with L3 MPKI < 2."""
+    headers = ["workload", "dice"]
+    rows: Rows = []
+    values: Dict[str, float] = {}
+    for wl in NON_INTENSIVE:
+        s = speedup(wl, "dice", params=params)
+        values[wl] = s
+        rows.append([wl, s])
+    return headers, rows, {"gmean": geomean(values.values())}
+
+
+# -- Figure 14: energy ----------------------------------------------------------
+
+def fig14_energy(params: Optional[SimulationParams] = None):
+    """Power / performance / energy / EDP normalized to baseline (Fig 14)."""
+    headers = ["config", "power", "performance", "energy", "edp"]
+    rows: Rows = []
+    summary: Summary = {}
+    all26 = workload_names("all26")
+    for cfg in ["tsi", "bai", "dice"]:
+        power_r, perf_r, energy_r, edp_r = [], [], [], []
+        for wl in all26:
+            test = cached_run(wl, cfg, params=params)
+            ref = cached_run(wl, "base", params=params)
+            perf = test.weighted_speedup_over(ref)
+            energy = test.energy_nj / ref.energy_nj
+            delay = ref.ipc / test.ipc if test.ipc else float("inf")
+            power_r.append(energy / delay)
+            perf_r.append(perf)
+            energy_r.append(energy)
+            edp_r.append(energy * delay)
+        row = [
+            cfg,
+            geomean(power_r),
+            geomean(perf_r),
+            geomean(energy_r),
+            geomean(edp_r),
+        ]
+        rows.append(row)
+        summary[f"{cfg}/energy"] = row[3]
+        summary[f"{cfg}/edp"] = row[4]
+    return headers, rows, summary
+
+
+# -- Figure 15: SCC on a DRAM cache ---------------------------------------------
+
+def fig15_scc(params: Optional[SimulationParams] = None):
+    """Skewed Compressed Cache vs DICE (Fig 15)."""
+    return _speedup_experiment(["scc", "dice"], params=params)
+
+
+# -- Table 4: insertion-threshold sensitivity ------------------------------------
+
+def table4_threshold(params: Optional[SimulationParams] = None):
+    """DICE speedup at thresholds 32 / 36 / 40 B."""
+    headers, rows, summary = _speedup_experiment(
+        ["dice-t32", "dice", "dice-t40"], params=params
+    )
+    headers = ["workload", "<=32B", "<=36B", "<=40B"]
+    return headers, rows, summary
+
+
+# -- Table 5: effective capacity --------------------------------------------------
+
+def table5_capacity(params: Optional[SimulationParams] = None):
+    """Average effective capacity of TSI / BAI / DICE."""
+    headers = ["workload", "tsi", "bai", "dice"]
+    rows: Rows = []
+    per_cfg: Dict[str, Dict[str, float]] = {c: {} for c in ("tsi", "bai", "dice")}
+    for wl in workload_names("all26"):
+        base = cached_run(wl, "base", params=params)
+        row: List[object] = [wl]
+        for cfg in ("tsi", "bai", "dice"):
+            r = cached_run(wl, cfg, params=params)
+            # capacity relative to what the uncompressed cache achieves
+            rel = r.effective_capacity / max(1e-9, base.effective_capacity)
+            per_cfg[cfg][wl] = rel
+            row.append(rel)
+        rows.append(row)
+    summary: Summary = {}
+    for cfg, values in per_cfg.items():
+        for group, mean in group_geomeans(values, GROUPS).items():
+            summary[f"{cfg}/{group}"] = mean
+    return headers, rows, summary
+
+
+# -- Table 6: L3 hit rate -----------------------------------------------------------
+
+def table6_l3_hitrate(params: Optional[SimulationParams] = None):
+    """L3 hit rate of baseline vs DICE."""
+    headers = ["workload", "base", "dice"]
+    rows: Rows = []
+    base_rates, dice_rates = [], []
+    for wl in workload_names("all26"):
+        b = cached_run(wl, "base", params=params)
+        d = cached_run(wl, "dice", params=params)
+        rows.append([wl, 100 * b.l3_hit_rate, 100 * d.l3_hit_rate])
+        base_rates.append(b.l3_hit_rate)
+        dice_rates.append(d.l3_hit_rate)
+    summary = {
+        "base/AVG26": 100 * sum(base_rates) / len(base_rates),
+        "dice/AVG26": 100 * sum(dice_rates) / len(dice_rates),
+    }
+    return headers, rows, summary
+
+
+# -- Table 7: prefetch comparison -----------------------------------------------------
+
+def table7_prefetch(params: Optional[SimulationParams] = None):
+    """128 B fetch / next-line prefetch / DICE / DICE+next-line."""
+    return _speedup_experiment(
+        ["base-wide128", "base-nextline", "dice", "dice-nextline"],
+        params=params,
+    )
+
+
+# -- Table 8: capacity / bandwidth / latency sensitivity -------------------------------
+
+def table8_sensitivity(params: Optional[SimulationParams] = None):
+    """DICE speedup over matching uncompressed designs at each design point."""
+    pairs = [
+        ("base(1GB)", "dice", "base"),
+        ("2x Capacity", "dice-2xcap", "2xcap"),
+        ("2x BW", "dice-2xbw", "2xbw"),
+        ("50% Latency", "dice-halflat", "halflat"),
+    ]
+    headers = ["workload"] + [label for label, _, _ in pairs]
+    rows: Rows = []
+    per_label: Dict[str, Dict[str, float]] = {label: {} for label, _, _ in pairs}
+    for wl in workload_names("all26"):
+        row: List[object] = [wl]
+        for label, cfg, ref in pairs:
+            s = speedup(wl, cfg, ref, params=params)
+            per_label[label][wl] = s
+            row.append(s)
+        rows.append(row)
+    summary: Summary = {}
+    for label, values in per_label.items():
+        for group, mean in group_geomeans(values, GROUPS).items():
+            summary[f"{label}/{group}"] = mean
+    return headers, rows, summary
+
+
+# -- Sec 5.3: CIP accuracy ------------------------------------------------------------
+
+def sec53_cip_accuracy(params: Optional[SimulationParams] = None):
+    """Read-CIP accuracy vs LTT size, plus write-path accuracy."""
+    configs = ["dice-ltt512", "dice", "dice-ltt8192"]
+    headers = ["workload", "ltt512", "ltt2048", "ltt8192", "write"]
+    rows: Rows = []
+    acc: Dict[str, List[float]] = {c: [] for c in configs}
+    write_acc: List[float] = []
+    for wl in workload_names("all26"):
+        row: List[object] = [wl]
+        for cfg in configs:
+            r = cached_run(wl, cfg, params=params)
+            value = 100 * (r.cip_accuracy or 0.0)
+            acc[cfg].append(value)
+            row.append(value)
+        r = cached_run(wl, "dice", params=params)
+        w = 100 * (r.cip_write_accuracy or 0.0)
+        write_acc.append(w)
+        row.append(w)
+        rows.append(row)
+    summary = {cfg: sum(v) / len(v) for cfg, v in acc.items()}
+    summary["write"] = sum(write_acc) / len(write_acc)
+    return headers, rows, summary

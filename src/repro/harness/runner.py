@@ -1,0 +1,234 @@
+"""Named machine configurations, result caching, and speedup computation.
+
+Every benchmark file regenerates its figure/table from `cached_run` results,
+so a (workload, config) pair simulates once per process (and once per
+machine if the disk cache is enabled) no matter how many figures use it —
+the same economy the paper gets from deriving many plots from one set of
+simulation campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.sim.engine import SimulationParams, run_workload
+from repro.sim.metrics import SimResult
+
+DEFAULT_SCALE = int(os.environ.get("REPRO_SCALE", 4096))
+"""Capacity scale factor vs the paper machine (see DESIGN.md Sec 5)."""
+
+DEFAULT_ACCESSES = int(os.environ.get("REPRO_ACCESSES", 6000))
+"""L3 accesses simulated per core (raise for higher-fidelity runs)."""
+
+_CACHE_VERSION = 6  # bump when simulator behaviour changes
+_DISK_CACHE = os.environ.get("REPRO_DISK_CACHE", "1") != "0"
+_CACHE_PATH = Path(
+    os.environ.get("REPRO_CACHE_PATH", Path(__file__).resolve().parents[3] / ".sim_cache.json")
+)
+
+
+def make_config(name: str, scale: int = DEFAULT_SCALE) -> SystemConfig:
+    """Build one of the named machine configurations used by the paper."""
+    try:
+        factory = STANDARD_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown config {name!r}; known: {sorted(STANDARD_CONFIGS)}"
+        ) from None
+    return factory(scale)
+
+
+def _cfg(**kw) -> Callable[[int], SystemConfig]:
+    return lambda scale: SystemConfig.paper_scale(scale, **kw)
+
+
+STANDARD_CONFIGS: Dict[str, Callable[[int], SystemConfig]] = {
+    # baselines
+    "base": _cfg(name="base"),
+    "2xcap": _cfg(l4_capacity_mult=2.0, name="2xcap"),
+    "2xbw": _cfg(l4_channel_mult=2, name="2xbw"),
+    "2xcap2xbw": _cfg(l4_capacity_mult=2.0, l4_channel_mult=2, name="2xcap2xbw"),
+    "halflat": _cfg(l4_latency_factor=0.5, name="halflat"),
+    # compressed static-index designs
+    "tsi": _cfg(compressed=True, index_scheme="tsi", name="tsi"),
+    "nsi": _cfg(compressed=True, index_scheme="nsi", name="nsi"),
+    "bai": _cfg(compressed=True, index_scheme="bai", name="bai"),
+    # DICE and variants
+    "dice": _cfg(compressed=True, index_scheme="dice", name="dice"),
+    "dice-t32": _cfg(
+        compressed=True, index_scheme="dice", dice_threshold=32, name="dice-t32"
+    ),
+    "dice-t40": _cfg(
+        compressed=True, index_scheme="dice", dice_threshold=40, name="dice-t40"
+    ),
+    "dice-knl": _cfg(
+        compressed=True,
+        index_scheme="dice",
+        neighbor_tag_visible=False,
+        name="dice-knl",
+    ),
+    "dice-2xcap": _cfg(
+        compressed=True, index_scheme="dice", l4_capacity_mult=2.0, name="dice-2xcap"
+    ),
+    "dice-2xbw": _cfg(
+        compressed=True, index_scheme="dice", l4_channel_mult=2, name="dice-2xbw"
+    ),
+    "dice-halflat": _cfg(
+        compressed=True,
+        index_scheme="dice",
+        l4_latency_factor=0.5,
+        name="dice-halflat",
+    ),
+    "dice-cip-oracle": _cfg(
+        compressed=True, index_scheme="dice", cip_mode="oracle", name="dice-cip-oracle"
+    ),
+    "dice-cip-none": _cfg(
+        compressed=True, index_scheme="dice", cip_mode="none", name="dice-cip-none"
+    ),
+    "dice-noshare": _cfg(
+        compressed=True, index_scheme="dice", tag_sharing=False, name="dice-noshare"
+    ),
+    "dice-evict-largest": _cfg(
+        compressed=True,
+        index_scheme="dice",
+        victim_policy="largest",
+        name="dice-evict-largest",
+    ),
+    "dice-ltt512": _cfg(
+        compressed=True, index_scheme="dice", cip_entries=512, name="dice-ltt512"
+    ),
+    "dice-ltt8192": _cfg(
+        compressed=True, index_scheme="dice", cip_entries=8192, name="dice-ltt8192"
+    ),
+    # comparison designs
+    "scc": _cfg(compressed=True, index_scheme="scc", name="scc"),
+    "lcp": _cfg(compressed=True, index_scheme="lcp", name="lcp"),
+}
+
+# Prefetch variants (Table 7) ride on an existing config.
+PREFETCH_CONFIGS = {
+    "base-wide128": ("base", "wide128"),
+    "base-nextline": ("base", "nextline"),
+    "dice-nextline": ("dice", "nextline"),
+}
+
+
+def resolve_config(name: str, scale: int = DEFAULT_SCALE) -> SystemConfig:
+    """Config by name, including the prefetch-variant names."""
+    if name in PREFETCH_CONFIGS:
+        base_name, mode = PREFETCH_CONFIGS[name]
+        cfg = make_config(base_name, scale)
+        import dataclasses
+
+        return dataclasses.replace(cfg, l3_prefetch=mode, name=name)
+    return make_config(name, scale)
+
+
+# ---------------------------------------------------------------------------
+# result cache
+
+_memory_cache: Dict[Tuple, SimResult] = {}
+_disk_loaded = False
+_disk_store: Dict[str, dict] = {}
+
+
+def _key(workload: str, config_name: str, scale: int, params: SimulationParams) -> Tuple:
+    return (
+        _CACHE_VERSION,
+        workload,
+        config_name,
+        scale,
+        params.accesses_per_core,
+        params.warmup_fraction,
+        params.seed,
+    )
+
+
+def _load_disk() -> None:
+    global _disk_loaded
+    if _disk_loaded or not _DISK_CACHE:
+        _disk_loaded = True
+        return
+    _disk_loaded = True
+    if _CACHE_PATH.exists():
+        try:
+            _disk_store.update(json.loads(_CACHE_PATH.read_text()))
+        except (json.JSONDecodeError, OSError):
+            pass
+
+
+def _save_disk() -> None:
+    if not _DISK_CACHE:
+        return
+    try:
+        _CACHE_PATH.write_text(json.dumps(_disk_store))
+    except OSError:
+        pass
+
+
+def _result_to_dict(result: SimResult) -> dict:
+    from dataclasses import asdict
+
+    d = asdict(result)
+    return d
+
+
+def _result_from_dict(d: dict) -> SimResult:
+    d = dict(d)
+    if d.get("index_distribution") is not None:
+        d["index_distribution"] = tuple(d["index_distribution"])
+    return SimResult(**d)
+
+
+def cached_run(
+    workload: str,
+    config_name: str,
+    *,
+    scale: int = DEFAULT_SCALE,
+    params: Optional[SimulationParams] = None,
+) -> SimResult:
+    """Run (or fetch) one simulation."""
+    params = params or SimulationParams(accesses_per_core=DEFAULT_ACCESSES)
+    key = _key(workload, config_name, scale, params)
+    hit = _memory_cache.get(key)
+    if hit is not None:
+        return hit
+    _load_disk()
+    disk_key = json.dumps(key)
+    if disk_key in _disk_store:
+        result = _result_from_dict(_disk_store[disk_key])
+        _memory_cache[key] = result
+        return result
+    config = resolve_config(config_name, scale)
+    result = run_workload(workload, config, params)
+    _memory_cache[key] = result
+    _disk_store[disk_key] = _result_to_dict(result)
+    _save_disk()
+    return result
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop cached results (tests use this to force fresh runs)."""
+    _memory_cache.clear()
+    if disk:
+        _disk_store.clear()
+        if _CACHE_PATH.exists():
+            _CACHE_PATH.unlink()
+
+
+def speedup(
+    workload: str,
+    config_name: str,
+    baseline: str = "base",
+    *,
+    scale: int = DEFAULT_SCALE,
+    params: Optional[SimulationParams] = None,
+) -> float:
+    """Weighted speedup of a config over a baseline for one workload."""
+    test = cached_run(workload, config_name, scale=scale, params=params)
+    ref = cached_run(workload, baseline, scale=scale, params=params)
+    return test.weighted_speedup_over(ref)

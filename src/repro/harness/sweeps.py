@@ -1,0 +1,59 @@
+"""Generic design-space sweeps over DRAM-cache parameters.
+
+`sweep_l4` runs one workload across a list of `DRAMCacheConfig` field
+overrides (thresholds, CIP sizes, tag sharing, victim policy, ...) and
+reports speedups over a shared baseline — the machinery behind the paper's
+Table 4-style sensitivity studies, exposed for ad-hoc exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import DEFAULT_SCALE, resolve_config
+from repro.sim.engine import SimulationParams, run_workload
+from repro.sim.metrics import SimResult
+
+
+def sweep_l4(
+    workload: str,
+    overrides: Sequence[Dict[str, object]],
+    *,
+    base_config: str = "dice",
+    baseline: str = "base",
+    scale: int = DEFAULT_SCALE,
+    params: Optional[SimulationParams] = None,
+) -> List[Tuple[Dict[str, object], float, SimResult]]:
+    """Run ``workload`` once per override dict.
+
+    Returns ``(override, speedup_over_baseline, result)`` per point.
+    """
+    params = params or SimulationParams()
+    ref = run_workload(workload, resolve_config(baseline, scale), params)
+    points = []
+    for override in overrides:
+        config = resolve_config(base_config, scale).with_l4(**override)
+        result = run_workload(workload, config, params)
+        points.append((override, result.weighted_speedup_over(ref), result))
+    return points
+
+
+def threshold_sweep(
+    workload: str,
+    thresholds: Sequence[int] = (0, 16, 24, 32, 36, 40, 48, 64),
+    **kw,
+) -> List[Tuple[int, float]]:
+    """DICE insertion-threshold curve for one workload (Table 4 extended).
+
+    0 degenerates to pure TSI and 64 to pure BAI, so the curve's endpoints
+    are the two static designs and its peak is the paper's 36 B story.
+    """
+    points = sweep_l4(
+        workload,
+        [{"dice_threshold": t} for t in thresholds],
+        **kw,
+    )
+    return [
+        (override["dice_threshold"], speedup)
+        for override, speedup, _result in points
+    ]

@@ -1,0 +1,13 @@
+"""Cycle-accounting simulator tying cores, L3, DRAM cache and memory together."""
+
+from repro.sim.engine import SimulationParams, run_trace, run_workload
+from repro.sim.metrics import SimResult
+from repro.sim.system import MemorySystem
+
+__all__ = [
+    "SimulationParams",
+    "run_trace",
+    "run_workload",
+    "SimResult",
+    "MemorySystem",
+]

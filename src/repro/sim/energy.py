@@ -1,0 +1,47 @@
+"""Event-count energy model for the off-chip memory system (Fig 14).
+
+The paper's EDP result is driven by traffic reduction: DICE raises L3 and L4
+hit rates, cutting both stacked-DRAM and DDR activity.  We charge per-access
+activation energy plus per-byte transfer energy for each pool, and a
+background power proportional to runtime.  Constants are representative of
+HBM vs off-package DDR (DDR costs more per byte moved, stacked DRAM less);
+only *ratios* matter since Fig 14 is normalized to the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CPU_GHZ = 3.2
+"""Core clock (Table 2); converts cycles to nanoseconds."""
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (nJ) and background power (W)."""
+
+    l4_access_nj: float = 1.5  # stacked-DRAM activate/precharge, amortized
+    l4_byte_nj: float = 0.035  # ~4.4 pJ/bit on-package transfer
+    mem_access_nj: float = 2.5  # DDR activate/precharge
+    mem_byte_nj: float = 0.085  # ~10.6 pJ/bit off-package transfer
+    background_w: float = 1.2  # refresh + PHY + controller
+
+
+def total_energy_nj(
+    cycles: float,
+    l4_accesses: int,
+    l4_bytes: int,
+    mem_accesses: int,
+    mem_bytes: int,
+    params: EnergyParams = EnergyParams(),
+) -> float:
+    """Total off-chip energy for one measurement window."""
+    seconds = cycles / (CPU_GHZ * 1e9)
+    dynamic = (
+        l4_accesses * params.l4_access_nj
+        + l4_bytes * params.l4_byte_nj
+        + mem_accesses * params.mem_access_nj
+        + mem_bytes * params.mem_byte_nj
+    )
+    background = params.background_w * seconds * 1e9  # W * s -> nJ
+    return dynamic + background

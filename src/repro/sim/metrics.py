@@ -1,0 +1,53 @@
+"""Result records produced by one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SimResult:
+    """Measured outcome of simulating one workload on one configuration.
+
+    All counters cover the post-warmup measurement window.  Speedups are not
+    stored here — they are ratios of two results and live in the harness.
+    """
+
+    workload: str
+    config_name: str
+    cycles: float
+    instructions: int
+    per_core_ipc: List[float]
+    l3_hit_rate: float
+    l4_hit_rate: float
+    l4_accesses: int
+    l4_bytes: int
+    mem_accesses: int
+    mem_bytes: int
+    energy_nj: float
+    effective_capacity: float  # valid lines / num_sets (1.0 = uncompressed full)
+    cip_accuracy: Optional[float] = None
+    cip_write_accuracy: Optional[float] = None
+    mapi_accuracy: Optional[float] = None
+    index_distribution: Optional[tuple] = None  # (invariant, tsi, bai)
+    l3_bonus_installs: int = 0
+    l3_bonus_hits: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions-per-cycle across all cores."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def edp_au(self) -> float:
+        """Energy-delay product in arbitrary units (nJ x cycles)."""
+        return self.energy_nj * self.cycles
+
+    def weighted_speedup_over(self, baseline: "SimResult") -> float:
+        """Per-core weighted speedup (Sec 3.2), normalized to 1.0."""
+        if len(self.per_core_ipc) != len(baseline.per_core_ipc):
+            raise ValueError("core counts differ between runs")
+        pairs = list(zip(self.per_core_ipc, baseline.per_core_ipc))
+        return sum(s / b for s, b in pairs if b > 0) / len(pairs)

@@ -1,0 +1,29 @@
+"""L3 prefetch comparison points (Table 7).
+
+The paper contrasts DICE's free adjacent-line delivery with two designs that
+fetch an extra line *explicitly*, each costing an independent DRAM-cache
+request:
+
+* ``wide128`` — the L3 fetches 128 B granules: every demand miss issues a
+  second request for the other half of the 128 B block (the buddy line);
+* ``nextline`` — a demand miss issues a prefetch for the next sequential
+  line.
+
+Prefetches that miss the DRAM cache are dropped (no memory fetch), so their
+cost is pure L4 bandwidth — exactly the overhead Table 7 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def prefetch_target(mode: str, line_addr: int) -> Optional[int]:
+    """Address the prefetcher requests alongside a demand miss, if any."""
+    if mode == "none":
+        return None
+    if mode == "wide128":
+        return line_addr ^ 1
+    if mode == "nextline":
+        return line_addr + 1
+    raise ValueError(f"unknown prefetch mode {mode!r}")

@@ -1,0 +1,122 @@
+"""Observability helpers: latency histograms and windowed bandwidth.
+
+The headline metrics (hit rates, IPC, energy) live in
+:class:`~repro.sim.metrics.SimResult`; this module provides the deeper
+instruments a memory-system study reaches for when a number looks odd —
+latency distributions (to see queueing tails) and time-windowed bandwidth
+(to see saturation phases).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (cycles)."""
+
+    # bucket upper bounds, cycles; the last bucket is open-ended
+    DEFAULT_BOUNDS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+    def __init__(self, bounds: Sequence[int] = DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bounds must be strictly increasing")
+        self.bounds: Tuple[int, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0
+        self.max = 0
+
+    def record(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        index = bisect.bisect_left(self.bounds, latency)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += latency
+        if latency > self.max:
+            self.max = latency
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Approximate percentile: the upper bound of the bucket where the
+        p-quantile falls (max for the open-ended bucket)."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError("p must be in (0, 100]")
+        if self.total == 0:
+            return 0
+        target = self.total * p / 100.0
+        running = 0
+        for i, count in enumerate(self.counts):
+            running += count
+            if running >= target:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """(label, count, fraction) per bucket, for table rendering."""
+        labels = []
+        low = 0
+        for bound in self.bounds:
+            labels.append(f"{low}-{bound}")
+            low = bound + 1
+        labels.append(f">{self.bounds[-1]}")
+        return [
+            (label, count, count / self.total if self.total else 0.0)
+            for label, count in zip(labels, self.counts)
+        ]
+
+
+@dataclass
+class BandwidthTracker:
+    """Bytes moved per fixed-size cycle window."""
+
+    window_cycles: int = 10_000
+    _windows: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, cycle: int, nbytes: int) -> None:
+        if cycle < 0 or nbytes < 0:
+            raise ValueError("cycle and bytes must be non-negative")
+        self._windows[cycle // self.window_cycles] = (
+            self._windows.get(cycle // self.window_cycles, 0) + nbytes
+        )
+
+    def series(self) -> List[Tuple[int, float]]:
+        """(window start cycle, bytes/cycle) sorted by time."""
+        return [
+            (w * self.window_cycles, total / self.window_cycles)
+            for w, total in sorted(self._windows.items())
+        ]
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        if not self._windows:
+            return 0.0
+        return max(self._windows.values()) / self.window_cycles
+
+    @property
+    def mean_bytes_per_cycle(self) -> float:
+        if not self._windows:
+            return 0.0
+        span = (max(self._windows) - min(self._windows) + 1) * self.window_cycles
+        return sum(self._windows.values()) / span
+
+
+def ascii_bar_chart(
+    rows: Sequence[Tuple[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """Render (label, value) rows as a fixed-width ASCII bar chart."""
+    if not rows:
+        return "(no data)"
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""The full memory system: shared L3, L4 DRAM cache, DDR main memory.
+
+`MemorySystem.handle_access` walks one L3 access through the hierarchy and
+returns the cycle at which the demand resolves.  Side traffic — installs,
+writebacks, stale-copy invalidations, MAP-I's parallel memory probes, and
+explicit prefetches — is charged to the timing devices without blocking the
+demand, which is how a real controller overlaps it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.hierarchy import OnChipHierarchy
+from repro.config import SystemConfig
+from repro.core.compressed_cache import CompressedDRAMCache
+from repro.core.dice import DICECache
+from repro.core.knl import KNLDICECache
+from repro.dram.mainmemory import MainMemory
+from repro.dramcache.alloy import AlloyCache
+from repro.dramcache.mapi import MAPIPredictor
+from repro.dramcache.scc import SCCDRAMCache
+from repro.sim.prefetch import prefetch_target
+from repro.sim.stats import BandwidthTracker, LatencyHistogram
+from repro.workloads.base import Access
+
+DataGenerator = Callable[[int], bytes]
+
+
+def build_l4(config):
+    """Instantiate the DRAM-cache design named by a config.
+
+    Accepts either a full :class:`SystemConfig` or a bare
+    :class:`~repro.config.DRAMCacheConfig`.
+    """
+    l4cfg = getattr(config, "l4", config)
+    if not l4cfg.compressed:
+        return AlloyCache(l4cfg)
+    scheme = l4cfg.index_scheme
+    if scheme in ("tsi", "nsi", "bai"):
+        return CompressedDRAMCache(l4cfg)
+    if scheme == "dice":
+        if l4cfg.neighbor_tag_visible:
+            return DICECache(l4cfg)
+        return KNLDICECache(l4cfg)
+    if scheme == "scc":
+        return SCCDRAMCache(l4cfg)
+    if scheme == "lcp":
+        from repro.dramcache.lcp import LCPDRAMCache
+
+        return LCPDRAMCache(l4cfg)
+    raise ValueError(f"unknown L4 design {scheme!r}")
+
+
+class MemorySystem:
+    """Shared memory system below the cores' private caches."""
+
+    def __init__(
+        self, config: SystemConfig, data_generator: DataGenerator
+    ) -> None:
+        self.config = config
+        self.hierarchy = OnChipHierarchy(config.l3)
+        self.l4 = build_l4(config)
+        self.memory = MainMemory(config.memory, data_generator)
+        self.mapi = MAPIPredictor()
+        self.demand_reads = 0
+        self.prefetch_issued = 0
+        self.wasted_parallel_probes = 0
+        self.demand_latency = LatencyHistogram()
+        self.l4_bandwidth = BandwidthTracker()
+
+    # -- public entry points -------------------------------------------------
+
+    def handle_access(self, access: Access, now: int) -> int:
+        """Serve one L3 access; returns the resolve cycle."""
+        if access.is_write:
+            return self._handle_write(access, now)
+        return self._handle_read(access, now)
+
+    # -- write path ------------------------------------------------------------
+
+    def _handle_write(self, access: Access, now: int) -> int:
+        """Stores write-allocate into L3; dirtiness drains via evictions."""
+        line = access.line_addr
+        data = self._store_data(line)
+        if self.hierarchy.write(line, data):
+            return now + self.config.l3.latency_cycles
+        finish = self._miss_fill(access, now)
+        self.hierarchy.write(line, data)
+        return finish
+
+    def _store_data(self, line_addr: int) -> bytes:
+        """New contents for a stored-to line (same data class, new values)."""
+        current = self.memory.read_data(line_addr)
+        # Flip a value-sized chunk deterministically: preserves the line's
+        # compressibility class while changing its bytes.  The low bits
+        # cycle mod 4 so repeated stores revisit a small set of variants,
+        # keeping the compressor's memo effective.
+        mutated = bytearray(current)
+        word = int.from_bytes(mutated[0:4], "little")
+        word = (word & ~0x3) | ((word + 1) & 0x3)
+        mutated[0:4] = word.to_bytes(4, "little")
+        return bytes(mutated)
+
+    # -- read path ---------------------------------------------------------------
+
+    def _handle_read(self, access: Access, now: int) -> int:
+        data = self.hierarchy.lookup(access.line_addr)
+        if data is not None:
+            return now + self.config.l3.latency_cycles
+        return self._miss_fill(access, now)
+
+    def _miss_fill(self, access: Access, now: int) -> int:
+        """L3 miss: consult L4 (and memory), install, maybe prefetch."""
+        finish = self._miss_fill_inner(access, now)
+        self.demand_latency.record(max(0, finish - now))
+        return finish
+
+    def _miss_fill_inner(self, access: Access, now: int) -> int:
+        self.demand_reads += 1
+        line = access.line_addr
+        t = now + self.config.l3.latency_cycles
+        predicted_miss = self.mapi.predict_miss(access.pc)
+
+        result = self.l4.read(line, t, access.pc)
+        self.l4_bandwidth.record(t, result.accesses * 80)
+        if result.hit:
+            self.mapi.update(access.pc, was_miss=False)
+            if predicted_miss:
+                # MAP-I launched a useless memory read in parallel.
+                self.memory.read(line, t)
+                self.wasted_parallel_probes += 1
+            self._install_l3(line, result.data, now=result.finish_cycle)
+            for extra_addr, extra_data in result.extra_lines:
+                self._install_l3_bonus(extra_addr, extra_data)
+            finish = result.finish_cycle
+        else:
+            self.mapi.update(access.pc, was_miss=True)
+            mem_arrival = t if predicted_miss else result.finish_cycle
+            data, mem_res = self.memory.read(line, mem_arrival)
+            self._install_l4(
+                line, data, mem_res.finish_cycle, after_demand_read=True
+            )
+            self._install_l3(line, data, now=mem_res.finish_cycle)
+            finish = max(result.finish_cycle, mem_res.finish_cycle)
+
+        self._maybe_prefetch(line, finish)
+        return finish
+
+    # -- fills, writebacks, prefetch ------------------------------------------------
+
+    def _install_l3(self, line_addr: int, data: bytes, now: int) -> None:
+        evicted = self.hierarchy.install(line_addr, data)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l4(evicted.line_addr, evicted.data, now)
+
+    def _install_l3_bonus(self, line_addr: int, data: bytes) -> None:
+        evicted = self.hierarchy.install_bonus(line_addr, data)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l4(evicted.line_addr, evicted.data, now=0)
+
+    def _install_l4(
+        self, line_addr: int, data: bytes, now: int, *, after_demand_read: bool
+    ) -> None:
+        wres = self.l4.install(
+            line_addr,
+            data,
+            now,
+            dirty=not after_demand_read,
+            after_demand_read=after_demand_read,
+        )
+        for victim_addr, victim_data in wres.writebacks:
+            self.memory.write(victim_addr, victim_data, wres.finish_cycle)
+
+    def _writeback_to_l4(self, line_addr: int, data: bytes, now: int) -> None:
+        """Dirty L3 victim drains into the (write-allocating) L4."""
+        self._install_l4(line_addr, data, now, after_demand_read=False)
+
+    def _maybe_prefetch(self, line_addr: int, now: int) -> None:
+        target = prefetch_target(self.config.l3_prefetch, line_addr)
+        if target is None or self.hierarchy.l3.contains(target):
+            return
+        self.prefetch_issued += 1
+        result = self.l4.read(target, now, pc=0)
+        if result.hit:
+            self._install_l3_bonus(target, result.data)
+        # prefetch L4 misses are dropped: no memory fetch, bandwidth only
+
+    # -- stats -------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.hierarchy.reset_stats()
+        self.l4.reset_stats()
+        self.memory.reset_stats()
+        self.demand_reads = 0
+        self.prefetch_issued = 0
+        self.wasted_parallel_probes = 0
+        self.demand_latency = LatencyHistogram()
+        self.l4_bandwidth = BandwidthTracker()

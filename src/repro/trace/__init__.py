@@ -1,0 +1,27 @@
+"""Trace capture and replay.
+
+The synthetic generators in :mod:`repro.workloads` stand in for the paper's
+PinPoint slices, but the simulator itself is trace-driven: anything that
+yields :class:`~repro.workloads.base.Access` records works.  This package
+provides a compact on-disk trace format plus record/replay helpers, so real
+application traces (or frozen snapshots of the synthetic ones) can be run
+through every cache design reproducibly.
+"""
+
+from repro.trace.format import (
+    TRACE_MAGIC,
+    read_trace,
+    trace_info,
+    write_trace,
+)
+from repro.trace.replay import RecordedTrace, TraceRecorder, capture_trace
+
+__all__ = [
+    "TRACE_MAGIC",
+    "read_trace",
+    "trace_info",
+    "write_trace",
+    "RecordedTrace",
+    "TraceRecorder",
+    "capture_trace",
+]

@@ -1,0 +1,81 @@
+"""Binary trace file format.
+
+A trace file is a small header followed by fixed-width little-endian
+records, one per L3 access:
+
+========  =======  =========================================
+field     width    meaning
+========  =======  =========================================
+magic     8 B      ``b"DICETRC1"``
+count     8 B      number of records
+records   24 B     line_addr (8) | pc (4) | inst_gap (4) |
+                   flags (1: bit0 = is_write) | pad (7)
+========  =======  =========================================
+
+Fixed-width records keep the reader trivially seekable (`trace_info` reads
+only the header); traces compress well externally if needed.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.workloads.base import Access
+
+TRACE_MAGIC = b"DICETRC1"
+_HEADER = struct.Struct("<8sQ")
+_RECORD = struct.Struct("<QIIB7x")
+
+PathLike = Union[str, Path]
+
+
+def write_trace(path: PathLike, accesses: Iterable[Access]) -> int:
+    """Write accesses to ``path``; returns the record count."""
+    records = []
+    for access in accesses:
+        if access.line_addr < 0 or access.line_addr >= (1 << 64):
+            raise ValueError(f"line address {access.line_addr} out of range")
+        records.append(
+            _RECORD.pack(
+                access.line_addr,
+                access.pc & 0xFFFFFFFF,
+                min(access.inst_gap, 0xFFFFFFFF),
+                1 if access.is_write else 0,
+            )
+        )
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(TRACE_MAGIC, len(records)))
+        fh.writelines(records)
+    return len(records)
+
+
+def trace_info(path: PathLike) -> dict:
+    """Header metadata without reading the records."""
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise ValueError(f"{path}: truncated trace header")
+    magic, count = _HEADER.unpack(header)
+    if magic != TRACE_MAGIC:
+        raise ValueError(f"{path}: not a trace file (bad magic {magic!r})")
+    return {"count": count, "record_bytes": _RECORD.size}
+
+
+def read_trace(path: PathLike) -> Iterator[Access]:
+    """Stream accesses back from a trace file."""
+    info = trace_info(path)
+    with open(path, "rb") as fh:
+        fh.seek(_HEADER.size)
+        for _ in range(info["count"]):
+            raw = fh.read(_RECORD.size)
+            if len(raw) < _RECORD.size:
+                raise ValueError(f"{path}: truncated record")
+            line_addr, pc, inst_gap, flags = _RECORD.unpack(raw)
+            yield Access(
+                line_addr=line_addr,
+                is_write=bool(flags & 1),
+                pc=pc,
+                inst_gap=inst_gap,
+            )

@@ -1,0 +1,73 @@
+"""Recording and replaying traces.
+
+`TraceRecorder` wraps any access iterator and remembers what flowed
+through it; `capture_trace` freezes a synthetic workload's first N accesses
+(plus the line contents they touch) so a run can be replayed bit-identically
+— across processes, machines, or after generator changes.
+
+`RecordedTrace` couples the access stream with the captured data image, so
+replays feed the simulator the same bytes the original run compressed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List
+
+from repro.workloads.base import Access, TraceGenerator
+
+
+class TraceRecorder:
+    """Tee for an access stream: iterate it, keep what passed through."""
+
+    def __init__(self, source: Iterable[Access]) -> None:
+        self._source = iter(source)
+        self.recorded: List[Access] = []
+
+    def __iter__(self) -> Iterator[Access]:
+        for access in self._source:
+            self.recorded.append(access)
+            yield access
+
+
+@dataclass
+class RecordedTrace:
+    """A frozen access stream plus the memory image it touches."""
+
+    accesses: List[Access]
+    data_image: Dict[int, bytes] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accesses)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def line_data(self, line_addr: int) -> bytes:
+        """Initial contents for a line (zero for untouched addresses)."""
+        data = self.data_image.get(line_addr)
+        return data if data is not None else bytes(64)
+
+    def distinct_lines(self) -> int:
+        return len({access.line_addr for access in self.accesses})
+
+    def write_fraction(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return sum(a.is_write for a in self.accesses) / len(self.accesses)
+
+
+def capture_trace(
+    generator: TraceGenerator, count: int, *, with_data: bool = True
+) -> RecordedTrace:
+    """Freeze the first ``count`` accesses of a synthetic workload."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    accesses = list(itertools.islice(iter(generator), count))
+    image: Dict[int, bytes] = {}
+    if with_data:
+        for access in accesses:
+            if access.line_addr not in image:
+                image[access.line_addr] = generator.line_data(access.line_addr)
+    return RecordedTrace(accesses=accesses, data_image=image)

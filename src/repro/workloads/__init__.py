@@ -1,0 +1,43 @@
+"""Synthetic workload substrate standing in for SPEC 2006 / GAP traces.
+
+The paper characterizes each workload by three properties that drive every
+result: L3 access intensity and footprint (Table 3), access pattern, and
+per-page compressibility (Fig 4).  Each named workload here is a generator
+reproducing those three measured distributions; the bytes it emits are
+synthetic but compress under real FPC/BDI to the paper's size classes.
+"""
+
+from repro.workloads.base import Access, TraceGenerator, WorkloadProfile
+from repro.workloads.data import DATA_CLASSES, LineDataFactory
+from repro.workloads.synthesis import (
+    TraceCharacteristics,
+    fit_profile,
+    measure_trace,
+)
+from repro.workloads.registry import (
+    ALL26,
+    GAP_WORKLOADS,
+    MIX_WORKLOADS,
+    NON_INTENSIVE,
+    SPEC_RATE,
+    get_profile,
+    workload_names,
+)
+
+__all__ = [
+    "Access",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "DATA_CLASSES",
+    "LineDataFactory",
+    "ALL26",
+    "GAP_WORKLOADS",
+    "MIX_WORKLOADS",
+    "NON_INTENSIVE",
+    "SPEC_RATE",
+    "get_profile",
+    "workload_names",
+    "TraceCharacteristics",
+    "fit_profile",
+    "measure_trace",
+]

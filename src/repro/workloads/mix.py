@@ -1,0 +1,18 @@
+"""Mixed 8-thread workloads (Sec 3.2).
+
+The paper builds four mixes by randomly choosing 8 of the 16 memory-
+intensive SPEC benchmarks; each core runs a different benchmark.  The
+selections below were drawn once with a fixed seed and frozen, so results
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+MIX_DEFINITIONS: Dict[str, List[str]] = {
+    "mix1": ["mcf", "soplex", "gcc", "omnetpp", "leslie3d", "wrf", "astar", "xalanc"],
+    "mix2": ["lbm", "milc", "libq", "Gems", "sphinx", "zeusmp", "cactus", "bzip2"],
+    "mix3": ["mcf", "lbm", "soplex", "libq", "leslie3d", "zeusmp", "astar", "bzip2"],
+    "mix4": ["gcc", "milc", "omnetpp", "Gems", "sphinx", "wrf", "cactus", "xalanc"],
+}

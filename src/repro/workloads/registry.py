@@ -1,0 +1,61 @@
+"""Workload registry: name -> profile, plus the paper's reporting groups.
+
+The paper reports RATE (16 SPEC rate-mode workloads), MIX (4 mixed
+workloads), GAP (6 graph workloads), and ALL26 (everything).  Mixes are not
+profiles themselves — each core runs a different SPEC profile — so the
+registry exposes both single profiles and mix definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.gap import GAP_PROFILES
+from repro.workloads.mix import MIX_DEFINITIONS
+from repro.workloads.spec import NONINT_PROFILES, SPEC_PROFILES
+
+_PROFILES: Dict[str, WorkloadProfile] = {}
+_PROFILES.update(SPEC_PROFILES)
+_PROFILES.update(GAP_PROFILES)
+_PROFILES.update(NONINT_PROFILES)
+
+SPEC_RATE: List[str] = list(SPEC_PROFILES)
+GAP_WORKLOADS: List[str] = list(GAP_PROFILES)
+MIX_WORKLOADS: List[str] = list(MIX_DEFINITIONS)
+NON_INTENSIVE: List[str] = list(NONINT_PROFILES)
+ALL26: List[str] = SPEC_RATE + MIX_WORKLOADS + GAP_WORKLOADS
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Profile for a single (non-mix) workload name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+def is_mix(name: str) -> bool:
+    return name in MIX_DEFINITIONS
+
+
+def mix_members(name: str) -> List[str]:
+    """The 8 per-core SPEC profiles of a mixed workload."""
+    return list(MIX_DEFINITIONS[name])
+
+
+def workload_names(group: str = "all26") -> List[str]:
+    """Names in a reporting group: rate | mix | gap | all26 | nonint."""
+    groups = {
+        "rate": SPEC_RATE,
+        "mix": MIX_WORKLOADS,
+        "gap": GAP_WORKLOADS,
+        "all26": ALL26,
+        "nonint": NON_INTENSIVE,
+    }
+    try:
+        return list(groups[group])
+    except KeyError:
+        raise KeyError(f"unknown group {group!r}; known: {sorted(groups)}") from None

@@ -1,0 +1,79 @@
+"""Shared fixtures for the unit/integration test suite."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.compression.hybrid import HybridCompressor
+from repro.config import (
+    DRAMCacheConfig,
+    DRAMOrganization,
+    DRAMTimings,
+    SystemConfig,
+)
+
+
+@pytest.fixture(scope="session")
+def hybrid() -> HybridCompressor:
+    return HybridCompressor()
+
+
+@pytest.fixture
+def small_org() -> DRAMOrganization:
+    """A 2-channel 4-bank organization, small enough to reason about."""
+    return DRAMOrganization(channels=2, banks_per_channel=4, bus_bytes=16)
+
+
+def make_l4_config(
+    num_sets: int = 64,
+    *,
+    compressed: bool = True,
+    index_scheme: str = "tsi",
+    **overrides,
+) -> DRAMCacheConfig:
+    """A small DRAM-cache config for direct unit tests."""
+    return DRAMCacheConfig(
+        capacity_bytes=num_sets * 64,
+        organization=DRAMOrganization(
+            channels=1, banks_per_channel=4, bus_bytes=16
+        ),
+        compressed=compressed,
+        index_scheme=index_scheme,
+        **overrides,
+    )
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    """A fully scaled-down machine for fast end-to-end tests."""
+    return SystemConfig.paper_scale(65536)
+
+
+# -- canonical line payloads -------------------------------------------------
+
+def line_of_words(*words: int) -> bytes:
+    """Build a 64 B line from 16 little-endian 32-bit words (repeat-padded)."""
+    padded = list(words) + [0] * (16 - len(words))
+    return struct.pack("<16I", *(w & 0xFFFFFFFF for w in padded[:16]))
+
+
+@pytest.fixture
+def zero_line() -> bytes:
+    return bytes(64)
+
+
+@pytest.fixture
+def random_line() -> bytes:
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+@pytest.fixture
+def bdi36_line() -> bytes:
+    """A base4-delta2 line: compresses to exactly 36 B under BDI."""
+    base = 0x20000000
+    return struct.pack("<16I", *(base + 1000 * i + 7 for i in range(16)))

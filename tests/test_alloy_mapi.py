@@ -1,0 +1,123 @@
+"""Unit tests for the uncompressed Alloy cache and the MAP-I predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dramcache.alloy import AlloyCache
+from repro.dramcache.mapi import MAPIPredictor
+
+from conftest import make_l4_config
+
+
+def line(i: int) -> bytes:
+    return bytes([i & 0xFF] * 64)
+
+
+class TestAlloyCache:
+    def setup_method(self):
+        self.cache = AlloyCache(make_l4_config(num_sets=16, compressed=False))
+
+    def test_rejects_compressed_config(self):
+        with pytest.raises(ValueError):
+            AlloyCache(make_l4_config(num_sets=16, compressed=True))
+
+    def test_miss_then_hit(self):
+        miss = self.cache.read(5, arrival=0)
+        assert not miss.hit
+        self.cache.install(5, line(5), arrival=miss.finish_cycle)
+        hit = self.cache.read(5, arrival=1000)
+        assert hit.hit
+        assert hit.data == line(5)
+        assert self.cache.read_hits == 1 and self.cache.read_misses == 1
+
+    def test_direct_mapped_conflict(self):
+        self.cache.install(5, line(5), arrival=0)
+        self.cache.install(5 + 16, line(7), arrival=0)  # same set
+        assert not self.cache.read(5, arrival=0).hit
+        assert self.cache.read(5 + 16, arrival=0).hit
+
+    def test_dirty_victim_reported(self):
+        self.cache.install(5, line(5), arrival=0, dirty=True)
+        result = self.cache.install(5 + 16, line(7), arrival=0)
+        assert result.writebacks == [(5, line(5))]
+
+    def test_clean_victim_silent(self):
+        self.cache.install(5, line(5), arrival=0, dirty=False)
+        result = self.cache.install(5 + 16, line(7), arrival=0)
+        assert result.writebacks == []
+
+    def test_reinstall_merges_dirty(self):
+        self.cache.install(5, line(5), arrival=0, dirty=True)
+        self.cache.install(5, line(6), arrival=0, dirty=False)
+        result = self.cache.install(5 + 16, line(7), arrival=0)
+        assert result.writebacks == [(5, line(6))]
+
+    def test_writeback_path_costs_extra_access(self):
+        before = self.cache.device.total_accesses
+        result = self.cache.install(
+            5, line(5), arrival=0, after_demand_read=False
+        )
+        assert result.accesses == 2
+        assert self.cache.device.total_accesses == before + 2
+
+    def test_install_rejects_partial_line(self):
+        with pytest.raises(ValueError):
+            self.cache.install(0, b"x", arrival=0)
+
+    def test_valid_line_count(self):
+        assert self.cache.valid_line_count() == 0
+        self.cache.install(1, line(1), arrival=0)
+        self.cache.install(2, line(2), arrival=0)
+        assert self.cache.valid_line_count() == 2
+
+    def test_hit_rate_and_reset(self):
+        self.cache.install(1, line(1), arrival=0)
+        self.cache.read(1, 0)
+        self.cache.read(2, 0)
+        assert self.cache.hit_rate == 0.5
+        self.cache.reset_stats()
+        assert self.cache.hit_rate == 0.0
+        assert self.cache.device.total_accesses == 0
+
+
+class TestMAPI:
+    def test_trains_toward_miss(self):
+        mapi = MAPIPredictor()
+        for _ in range(4):
+            mapi.update(pc=0x10, was_miss=True)
+        assert mapi.predict_miss(0x10)
+
+    def test_trains_back_toward_hit(self):
+        mapi = MAPIPredictor()
+        for _ in range(6):
+            mapi.update(0x10, was_miss=True)
+        for _ in range(6):
+            mapi.update(0x10, was_miss=False)
+        assert not mapi.predict_miss(0x10)
+
+    def test_accuracy_tracking(self):
+        mapi = MAPIPredictor()
+        # initial counters predict hit; feed hits -> all correct
+        for _ in range(10):
+            mapi.update(0x20, was_miss=False)
+        assert mapi.accuracy == 1.0
+
+    def test_distinct_pcs_independent(self):
+        mapi = MAPIPredictor(entries=64)
+        for _ in range(6):
+            mapi.update(0x1, was_miss=True)
+        assert mapi.predict_miss(0x1)
+        assert not mapi.predict_miss(0x2)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MAPIPredictor(entries=0)
+
+    def test_counters_saturate(self):
+        mapi = MAPIPredictor(bits=2)
+        for _ in range(100):
+            mapi.update(0x5, was_miss=True)
+        # a single hit must not immediately flip a saturated counter
+        mapi.update(0x5, was_miss=False)
+        assert mapi.predict_miss(0x5)

@@ -1,0 +1,81 @@
+"""Unit tests for bank page policies and refresh modeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DRAMTimings
+from repro.dram.bank import REFRESH_CYCLES, REFRESH_INTERVAL, Bank
+
+
+class TestClosedPage:
+    def test_closed_page_never_conflicts(self):
+        bank = Bank(DRAMTimings(), page_policy="closed")
+        finish = 0
+        for row in range(20):
+            finish = bank.access(row, finish)
+        assert bank.row_conflicts == 0
+        assert bank.row_hits == 0
+        assert bank.row_misses == 20
+
+    def test_closed_page_never_hits_same_row(self):
+        bank = Bank(DRAMTimings(), page_policy="closed")
+        finish = bank.access(5, 0)
+        bank.access(5, finish)
+        assert bank.row_hits == 0
+
+    def test_open_beats_closed_on_local_traffic(self):
+        t = DRAMTimings()
+        open_bank = Bank(t, page_policy="open")
+        closed_bank = Bank(t, page_policy="closed")
+        open_finish = closed_finish = 0
+        for _ in range(10):
+            open_finish = open_bank.access(3, open_finish)
+            closed_finish = closed_bank.access(3, closed_finish)
+        assert open_finish < closed_finish
+
+    def test_closed_beats_open_on_conflict_traffic(self):
+        t = DRAMTimings()
+        open_bank = Bank(t, page_policy="open")
+        closed_bank = Bank(t, page_policy="closed")
+        open_finish = closed_finish = 0
+        for row in range(20):
+            open_finish = open_bank.access(row % 2, open_finish)
+            closed_finish = closed_bank.access(row % 2, closed_finish)
+        assert closed_finish < open_finish
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Bank(DRAMTimings(), page_policy="half-open")
+
+
+class TestRefresh:
+    def test_access_during_refresh_stalls(self):
+        bank = Bank(DRAMTimings(), refresh_enabled=True)
+        # arrival inside the first refresh window
+        ready = bank.access(1, 10)
+        no_refresh = Bank(DRAMTimings()).access(1, 10)
+        assert ready > no_refresh
+        assert bank.refresh_stalls == 1
+
+    def test_access_outside_refresh_window_unaffected(self):
+        bank = Bank(DRAMTimings(), refresh_enabled=True)
+        arrival = REFRESH_CYCLES + 100  # past the refresh window
+        ready = bank.access(1, arrival)
+        expected = Bank(DRAMTimings()).access(1, arrival)
+        assert ready == expected
+        assert bank.refresh_stalls == 0
+
+    def test_refresh_closes_row(self):
+        bank = Bank(DRAMTimings(), refresh_enabled=True)
+        bank.access(7, REFRESH_CYCLES + 10)  # opens row 7 cleanly
+        assert bank.open_row == 7
+        # next access lands inside the following refresh window
+        bank.access(7, REFRESH_INTERVAL + 10)
+        assert bank.row_misses == 2  # the re-access was not a row hit
+
+    def test_reset_clears_refresh_stats(self):
+        bank = Bank(DRAMTimings(), refresh_enabled=True)
+        bank.access(1, 0)
+        bank.reset()
+        assert bank.refresh_stalls == 0

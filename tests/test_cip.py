@@ -1,0 +1,88 @@
+"""Unit tests for the Cache Index Predictor (Last-Time Table, Sec 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cip import CacheIndexPredictor
+
+
+class TestLTT:
+    def test_default_predicts_tsi(self):
+        cip = CacheIndexPredictor()
+        assert not cip.predict_bai(0)
+
+    def test_last_time_behaviour(self):
+        cip = CacheIndexPredictor()
+        lines_per = CacheIndexPredictor.LINES_PER_PAGE
+        cip.record_outcome(5, was_bai=True)
+        # any line in the same page now predicts BAI
+        assert cip.predict_bai(5)
+        assert cip.predict_bai((5 // lines_per) * lines_per)
+        cip.record_outcome(5, was_bai=False)
+        assert not cip.predict_bai(5)
+
+    def test_accuracy_grading(self):
+        cip = CacheIndexPredictor()
+        cip.record_outcome(0, was_bai=False)  # predicted False -> correct
+        cip.record_outcome(0, was_bai=True)  # predicted False -> wrong
+        cip.record_outcome(0, was_bai=True)  # predicted True -> correct
+        assert cip.lookups == 3
+        assert cip.correct == 2
+        assert abs(cip.accuracy - 2 / 3) < 1e-9
+
+    def test_update_quietly_does_not_grade(self):
+        cip = CacheIndexPredictor()
+        cip.update_quietly(0, was_bai=True)
+        assert cip.lookups == 0
+        assert cip.predict_bai(0)
+
+    def test_page_correlation(self):
+        """Lines of one page share a prediction — the paper's key insight."""
+        cip = CacheIndexPredictor(entries=4096)
+        lines_per = CacheIndexPredictor.LINES_PER_PAGE
+        page_base = 10 * lines_per
+        cip.record_outcome(page_base, was_bai=True)
+        for offset in range(lines_per):
+            assert cip.predict_bai(page_base + offset)
+
+    def test_storage_budget_is_under_1kb(self):
+        """Paper: default CIP costs 2048 bits = 256 B (<1 KB total)."""
+        cip = CacheIndexPredictor(entries=2048)
+        assert cip.storage_bits == 2048
+        assert cip.storage_bits / 8 <= 1024
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            CacheIndexPredictor(entries=0)
+
+    def test_accuracy_zero_without_lookups(self):
+        assert CacheIndexPredictor().accuracy == 0.0
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(st.integers(0, 1 << 40), st.booleans()), max_size=60))
+def test_ltt_accuracy_bounds(history):
+    """Accuracy is always a valid fraction of graded lookups."""
+    cip = CacheIndexPredictor(entries=128)
+    for addr, outcome in history:
+        cip.record_outcome(addr, outcome)
+    assert 0.0 <= cip.accuracy <= 1.0
+    assert cip.correct <= cip.lookups == len(history)
+
+
+def test_sticky_page_workload_is_highly_predictable():
+    """Pages with stable compressibility give ~100% accuracy (Sec 5.3)."""
+    import random
+
+    rng = random.Random(3)
+    cip = CacheIndexPredictor(entries=2048)
+    lines_per = CacheIndexPredictor.LINES_PER_PAGE
+    page_policy = {page: rng.random() < 0.5 for page in range(64)}
+    for _ in range(4000):
+        page = rng.randrange(64)
+        line = page * lines_per + rng.randrange(lines_per)
+        cip.record_outcome(line, page_policy[page])
+    assert cip.accuracy > 0.95

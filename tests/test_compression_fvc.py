@@ -1,0 +1,103 @@
+"""Unit tests for Frequent Value Compression."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.fvc import FVCCompressor
+from repro.config import LINE_SIZE
+
+
+def line_of(*words: int) -> bytes:
+    padded = (list(words) * 16)[:16]
+    return struct.pack("<16I", *(w & 0xFFFFFFFF for w in padded))
+
+
+class TestTable:
+    def test_training_picks_most_frequent(self):
+        fvc = FVCCompressor()
+        for _ in range(5):
+            fvc.train(line_of(0xAAAA))
+        fvc.train(line_of(0xBBBB))
+        table = fvc.finalize_table()
+        assert table[0] == 0xAAAA
+        assert 0xBBBB in table
+
+    def test_table_capped_at_eight(self):
+        fvc = FVCCompressor()
+        for value in range(20):
+            fvc.train(line_of(value))
+        assert len(fvc.finalize_table()) == 8
+
+    def test_coverage(self):
+        fvc = FVCCompressor()
+        fvc.train(line_of(7))
+        fvc.finalize_table()
+        assert fvc.coverage == pytest.approx(1.0)
+
+    def test_coverage_without_training(self):
+        assert FVCCompressor().coverage == 0.0
+
+    def test_explicit_table(self):
+        fvc = FVCCompressor(frequent_values=[0x1234])
+        result = fvc.compress(line_of(0x1234))
+        assert result.size == 8  # 16 x 4 bits
+
+
+class TestCompression:
+    def test_all_table_hits(self):
+        fvc = FVCCompressor(frequent_values=[0, 1, 2, 3])
+        data = line_of(0, 1, 2, 3)
+        result = fvc.compress(data)
+        assert result.size == 8
+        assert fvc.decompress(result) == data
+
+    def test_all_misses_cost_flag_overhead(self):
+        fvc = FVCCompressor()
+        data = line_of(*range(100, 116))
+        result = fvc.compress(data)
+        # 16 x 33 bits = 528 -> capped at 64
+        assert result.size == LINE_SIZE
+        assert fvc.decompress(result) == data
+
+    def test_mixed(self):
+        fvc = FVCCompressor(frequent_values=[0xDEAD])
+        data = line_of(0xDEAD, 0xBEEF)
+        result = fvc.compress(data)
+        assert 8 < result.size < LINE_SIZE
+        assert fvc.decompress(result) == data
+
+    def test_rejects_foreign_payload(self):
+        from repro.compression.zca import ZCACompressor
+
+        with pytest.raises(ValueError):
+            FVCCompressor().decompress(ZCACompressor().compress(bytes(64)))
+
+    def test_roundtrip_survives_table_change(self):
+        """Payload snapshots its table: later retraining cannot corrupt."""
+        fvc = FVCCompressor(frequent_values=[0xAAAA])
+        data = line_of(0xAAAA, 0xBBBB)
+        compressed = fvc.compress(data)
+        fvc.table = (0xCCCC,)  # table rotates
+        assert fvc.decompress(compressed) == data
+
+
+@settings(max_examples=100)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_fvc_roundtrip_property(data):
+    fvc = FVCCompressor(frequent_values=[0, 0xFFFFFFFF, 0x41414141])
+    assert fvc.decompress(fvc.compress(data)) == data
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 3), min_size=16, max_size=16))
+def test_fvc_trained_data_compresses_well(words):
+    fvc = FVCCompressor()
+    line = struct.pack("<16I", *words)
+    fvc.train(line)
+    fvc.finalize_table()
+    assert fvc.compress(line).size <= 8

@@ -1,0 +1,69 @@
+"""Unit tests for pair (shared-base, shared-tag) compression."""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.hybrid import HybridCompressor
+from repro.compression.pair import pair_compressed_size
+from repro.config import LINE_SIZE
+
+hybrid = HybridCompressor()
+
+
+def _b4d2_line(base: int, salt: int) -> bytes:
+    """A base4-delta2 (36 B) line around ``base``."""
+    return struct.pack(
+        "<16I", *((base + 1500 * i + salt) & 0xFFFFFFFF for i in range(16))
+    )
+
+
+class TestPairSizes:
+    def test_paper_flagship_36_to_68(self):
+        """Two 36 B base4-delta2 lines with one shared base -> 68 B pair."""
+        a = _b4d2_line(0x20000000, 3)
+        b = _b4d2_line(0x20000000, 11)
+        assert hybrid.compressed_size(a) == 36
+        assert hybrid.compressed_size(b) == 36
+        size, shared = pair_compressed_size(hybrid, a, b)
+        assert shared
+        assert size == 68
+
+    def test_zero_pair(self, zero_line):
+        size, _ = pair_compressed_size(hybrid, zero_line, zero_line)
+        assert size == 2
+
+    def test_incompressible_pair_is_sum(self, random_line):
+        other = bytes(reversed(random_line))
+        size, shared = pair_compressed_size(hybrid, random_line, other)
+        assert not shared
+        assert size == 2 * LINE_SIZE
+
+    def test_different_bases_do_not_share(self):
+        a = _b4d2_line(0x20000000, 1)
+        b = _b4d2_line(0x70000000, 1)  # far base: sharing fails
+        size, shared = pair_compressed_size(hybrid, a, b)
+        assert size == 72
+        assert not shared
+
+    def test_mixed_pair_compressible_plus_random(self, random_line):
+        a = _b4d2_line(0x20000000, 5)
+        size, _ = pair_compressed_size(hybrid, a, random_line)
+        assert size == 36 + 64
+
+
+@settings(max_examples=100)
+@given(
+    st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE),
+    st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE),
+)
+def test_pair_never_worse_than_independent(a, b):
+    """Co-compression is an optimization, never a pessimization."""
+    size, _ = pair_compressed_size(hybrid, a, b)
+    independent = hybrid.compressed_size(a) + hybrid.compressed_size(b)
+    assert size <= independent
+    assert size <= 2 * LINE_SIZE
+    assert size >= 1

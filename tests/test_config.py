@@ -1,0 +1,95 @@
+"""Unit tests for system configuration and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DRAMOrganization,
+    DRAMTimings,
+    SRAMCacheConfig,
+    SystemConfig,
+)
+
+
+class TestPaperScale:
+    def test_full_size_matches_table2(self):
+        cfg = SystemConfig.paper_scale(1)
+        assert cfg.l4.capacity_bytes == 1 << 30
+        assert cfg.l4.organization.channels == 4
+        assert cfg.l4.organization.bus_bytes == 16
+        assert cfg.memory.channels == 1
+        assert cfg.memory.bus_bytes == 8
+        assert cfg.core.num_cores == 8
+        assert cfg.l3.capacity_bytes == 8 << 20
+
+    def test_bandwidth_ratio_is_8x(self):
+        """Stacked DRAM: 4 channels x 128-bit vs DDR 1 channel x 64-bit."""
+        cfg = SystemConfig.paper_scale(1)
+        stacked = cfg.l4.organization.channels * cfg.l4.organization.bus_bytes
+        ddr = cfg.memory.channels * cfg.memory.bus_bytes
+        assert stacked // ddr == 8
+
+    def test_scaling_preserves_capacity_ratio(self):
+        full = SystemConfig.paper_scale(1)
+        scaled = SystemConfig.paper_scale(256)
+        assert full.l4.capacity_bytes // scaled.l4.capacity_bytes == 256
+
+    def test_capacity_multiplier(self):
+        cfg = SystemConfig.paper_scale(256, l4_capacity_mult=2.0)
+        base = SystemConfig.paper_scale(256)
+        assert cfg.l4.capacity_bytes == 2 * base.l4.capacity_bytes
+
+    def test_channel_multiplier(self):
+        cfg = SystemConfig.paper_scale(256, l4_channel_mult=2)
+        assert cfg.l4.organization.channels == 8
+
+    def test_latency_factor(self):
+        cfg = SystemConfig.paper_scale(256, l4_latency_factor=0.5)
+        assert cfg.l4.organization.timings.tCAS == 22
+        assert cfg.memory.timings.tCAS == 44  # DDR untouched
+
+    def test_l4_overrides_forwarded(self):
+        cfg = SystemConfig.paper_scale(
+            256, compressed=True, index_scheme="dice", dice_threshold=40
+        )
+        assert cfg.l4.dice_threshold == 40
+
+    def test_with_l4(self):
+        cfg = SystemConfig.paper_scale(256).with_l4(dice_threshold=32)
+        assert cfg.l4.dice_threshold == 32
+
+    def test_num_sets_is_capacity_over_linesize(self):
+        cfg = SystemConfig.paper_scale(1024)
+        assert cfg.l4.num_sets == cfg.l4.capacity_bytes // 64
+
+
+class TestOrganization:
+    def test_burst_cycles_for_tad_transfer(self):
+        """80 B over a 16 B DDR bus: 5 edges -> 3 bus cycles -> 6 CPU cycles."""
+        org = DRAMOrganization(channels=4, banks_per_channel=16, bus_bytes=16)
+        assert org.burst_cycles(80) == 6
+
+    def test_burst_cycles_narrow_bus_slower(self):
+        wide = DRAMOrganization(channels=1, banks_per_channel=1, bus_bytes=16)
+        narrow = DRAMOrganization(channels=1, banks_per_channel=1, bus_bytes=8)
+        assert narrow.burst_cycles(64) > wide.burst_cycles(64)
+
+
+class TestSRAMConfig:
+    def test_geometry(self):
+        cfg = SRAMCacheConfig(
+            capacity_bytes=32 * 1024, associativity=8, latency_cycles=30
+        )
+        assert cfg.num_lines == 512
+        assert cfg.num_sets == 64
+
+
+class TestTimingsScaling:
+    def test_identity(self):
+        t = DRAMTimings().scaled_latency(1.0)
+        assert t == DRAMTimings()
+
+    def test_rounding(self):
+        t = DRAMTimings(tCAS=3, tRCD=3, tRP=3, tRAS=7).scaled_latency(0.5)
+        assert t.tCAS == 2  # round(1.5) banker's -> 2

@@ -1,0 +1,229 @@
+"""Unit tests for the DICE cache: insertion policy, CIP reads, coherence."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.dice import DICECache
+from repro.core.indexing import bai_equals_tsi, bai_index, tsi_index
+
+from conftest import make_l4_config
+
+SETS = 16
+
+
+def dice_cache(**overrides) -> DICECache:
+    return DICECache(make_l4_config(num_sets=SETS, index_scheme="dice", **overrides))
+
+
+def b4d2(salt: int) -> bytes:
+    return struct.pack(
+        "<16I", *(((0x20000000 + 1500 * i + salt) & 0xFFFFFFFF) for i in range(16))
+    )
+
+
+def rand_line(seed: int) -> bytes:
+    import random
+
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def variant_line(sets: int = SETS):
+    """A line address whose BAI and TSI locations differ."""
+    for addr in range(4 * sets):
+        if not bai_equals_tsi(addr, sets):
+            return addr
+    raise AssertionError("unreachable")
+
+
+class TestConstruction:
+    def test_requires_dice_scheme(self):
+        with pytest.raises(ValueError):
+            DICECache(make_l4_config(num_sets=SETS, index_scheme="bai"))
+
+
+class TestInsertionPolicy:
+    def test_compressible_goes_to_bai(self):
+        cache = dice_cache()
+        addr = variant_line()
+        set_index, used_bai = cache.choose_index(36, addr)
+        assert used_bai
+        assert set_index == bai_index(addr, SETS)
+
+    def test_incompressible_goes_to_tsi(self):
+        cache = dice_cache()
+        addr = variant_line()
+        set_index, used_bai = cache.choose_index(40, addr)
+        assert not used_bai
+        assert set_index == tsi_index(addr, SETS)
+
+    def test_threshold_respected(self):
+        cache = dice_cache(dice_threshold=32)
+        addr = variant_line()
+        _, used_bai = cache.choose_index(36, addr)
+        assert not used_bai
+
+    def test_degenerate_threshold_0_is_pure_tsi(self):
+        cache = dice_cache(dice_threshold=0)
+        addr = variant_line()
+        _, used_bai = cache.choose_index(1, addr)
+        assert not used_bai
+
+    def test_degenerate_threshold_64_is_pure_bai(self):
+        cache = dice_cache(dice_threshold=64)
+        addr = variant_line()
+        _, used_bai = cache.choose_index(64, addr)
+        assert used_bai
+
+    def test_invariant_lines_counted_separately(self):
+        cache = dice_cache()
+        invariant = next(
+            a for a in range(4 * SETS) if bai_equals_tsi(a, SETS)
+        )
+        cache.install(invariant, b4d2(1), 0)
+        assert cache.installs_invariant == 1
+        assert cache.installs_bai == 0
+
+
+class TestReadPaths:
+    def test_read_your_write_compressible(self):
+        cache = dice_cache()
+        addr = variant_line()
+        data = b4d2(3)
+        cache.install(addr, data, 0)
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.data == data
+
+    def test_read_your_write_incompressible(self):
+        cache = dice_cache()
+        addr = variant_line()
+        data = rand_line(3)
+        cache.install(addr, data, 0)
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.data == data
+
+    def test_mispredicted_read_costs_second_access(self):
+        cache = dice_cache()
+        addr = variant_line()
+        cache.install(addr, b4d2(3), 0)  # resident at BAI
+        # Poison the predictor toward TSI for this page.
+        cache.cip.update_quietly(addr, was_bai=False)
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.accesses == 2
+        assert cache.second_accesses == 1
+
+    def test_correct_prediction_single_access(self):
+        cache = dice_cache()
+        addr = variant_line()
+        cache.install(addr, b4d2(3), 0)  # install trains CIP toward BAI
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.accesses == 1
+
+    def test_miss_needs_no_second_access(self):
+        cache = dice_cache()
+        result = cache.read(variant_line(), 0)
+        assert not result.hit
+        assert result.accesses == 1
+
+    def test_pair_forwarded_from_bai_set(self):
+        cache = dice_cache()
+        addr = variant_line()
+        base = addr & ~1
+        a, b = b4d2(1), b4d2(9)
+        cache.install(base, a, 0)
+        cache.install(base + 1, b, 0)
+        result = cache.read(base, 0)
+        assert result.hit
+        assert (base + 1, b) in result.extra_lines
+
+
+class TestDualLocationCoherence:
+    def test_reinstall_with_different_policy_invalidates_stale_copy(self):
+        """A line that turns incompressible must not leave a stale BAI copy."""
+        cache = dice_cache()
+        addr = variant_line()
+        old = b4d2(1)
+        new = rand_line(1)
+        cache.install(addr, old, 0)  # -> BAI location
+        cache.install(addr, new, 0)  # -> TSI location
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.data == new
+        # The line exists at exactly one location.
+        bai_set = cache._sets.get(bai_index(addr, SETS))
+        tsi_set = cache._sets.get(tsi_index(addr, SETS))
+        copies = sum(
+            1
+            for cset in (bai_set, tsi_set)
+            if cset is not None and cset.get(addr) is not None
+        )
+        assert copies == 1
+
+    def test_stale_dirty_bit_survives_clean_reinstall(self):
+        cache = dice_cache()
+        addr = variant_line()
+        cache.install(addr, b4d2(1), 0, dirty=True)  # dirty at BAI
+        cache.install(addr, rand_line(1), 0, dirty=False)  # moves to TSI
+        tsi_set = cache._sets[tsi_index(addr, SETS)]
+        assert tsi_set.get(addr).dirty
+
+    def test_contains_checks_both_locations(self):
+        cache = dice_cache()
+        addr = variant_line()
+        cache.install(addr, b4d2(1), 0)
+        assert cache.contains(addr)
+        cache.install(addr, rand_line(1), 0)
+        assert cache.contains(addr)
+
+
+class TestCIPModes:
+    def test_oracle_never_pays_second_access(self):
+        cache = dice_cache(cip_mode="oracle")
+        for salt, addr in enumerate(range(0, 3 * SETS)):
+            cache.install(addr, b4d2(salt) if salt % 2 else rand_line(salt), 0)
+        for addr in range(0, 3 * SETS):
+            cache.read(addr, 0)
+        assert cache.second_accesses == 0
+
+    def test_none_mode_starts_at_tsi(self):
+        cache = dice_cache(cip_mode="none")
+        addr = variant_line()
+        cache.install(addr, b4d2(1), 0)  # resident at BAI
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.accesses == 2  # always wrong for BAI residents
+
+    def test_unknown_mode_rejected(self):
+        cache = dice_cache(cip_mode="magic")
+        with pytest.raises(ValueError):
+            cache.read(variant_line(), 0)
+
+
+class TestStats:
+    def test_index_distribution_sums_to_one(self):
+        cache = dice_cache()
+        for salt, addr in enumerate(range(0, 4 * SETS)):
+            cache.install(addr, b4d2(salt) if salt % 3 else rand_line(salt), 0)
+        inv, tsi, bai = cache.index_distribution()
+        assert abs(inv + tsi + bai - 1.0) < 1e-9
+        assert inv > 0 and tsi > 0 and bai > 0
+
+    def test_empty_distribution(self):
+        assert dice_cache().index_distribution() == (0.0, 0.0, 0.0)
+
+    def test_write_prediction_graded_on_writebacks(self):
+        cache = dice_cache()
+        addr = variant_line()
+        data = b4d2(1)
+        cache.install(addr, data, 0)
+        cache.install(addr, data, 0, after_demand_read=False)
+        assert cache.write_predictions == 1
+        assert cache.write_predictions_correct == 1
+        assert cache.write_prediction_accuracy == 1.0

@@ -1,0 +1,98 @@
+"""DICE's degenerate thresholds reduce to the static schemes (Sec 6.2).
+
+"A threshold of 0 will degenerate DICE to always use TSI, and a threshold
+of 64 will degenerate DICE to always use BAI."  We verify both: under
+identical traffic, the degenerate DICE caches place every line exactly
+where the corresponding static compressed cache does.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.core.compressed_cache import CompressedDRAMCache
+from repro.core.dice import DICECache
+from repro.core.indexing import bai_index, tsi_index
+
+from conftest import make_l4_config
+
+SETS = 32
+
+
+def traffic(seed: int, count: int = 800):
+    rng = random.Random(seed)
+    kinds = ["zero", "b4d2", "rand"]
+    for _ in range(count):
+        addr = rng.randrange(160)
+        kind = rng.choice(kinds)
+        if kind == "zero":
+            data = bytes(64)
+        elif kind == "b4d2":
+            data = struct.pack(
+                "<16I",
+                *(((0x20000000 + 1500 * i + addr) & 0xFFFFFFFF) for i in range(16)),
+            )
+        else:
+            data = bytes(rng.randrange(256) for _ in range(64))
+        yield addr, data, rng.random() < 0.5
+
+
+def test_threshold_zero_places_like_tsi():
+    dice = DICECache(
+        make_l4_config(num_sets=SETS, index_scheme="dice", dice_threshold=0)
+    )
+    for addr, data, is_install in traffic(1):
+        if is_install:
+            dice.install(addr, data, 0)
+            size = dice.compressor.compressed_size(data)
+            chosen, used_bai = dice.choose_index(size, addr)
+            assert not used_bai
+            assert chosen == tsi_index(addr, SETS)
+    assert dice.installs_bai == 0
+
+
+def test_threshold_64_places_like_bai():
+    dice = DICECache(
+        make_l4_config(num_sets=SETS, index_scheme="dice", dice_threshold=64)
+    )
+    for addr, data, is_install in traffic(2):
+        if is_install:
+            dice.install(addr, data, 0)
+            size = dice.compressor.compressed_size(data)
+            chosen, used_bai = dice.choose_index(size, addr)
+            variant = tsi_index(addr, SETS) != bai_index(addr, SETS)
+            assert used_bai == variant
+            assert chosen == bai_index(addr, SETS)
+    assert dice.installs_tsi == 0
+
+
+def test_degenerate_tsi_matches_static_cache_hit_for_hit():
+    """Same traffic -> identical hit/miss sequence as the static TSI cache."""
+    dice = DICECache(
+        make_l4_config(num_sets=SETS, index_scheme="dice", dice_threshold=0)
+    )
+    static = CompressedDRAMCache(
+        make_l4_config(num_sets=SETS, index_scheme="tsi")
+    )
+    for addr, data, is_install in traffic(3):
+        if is_install:
+            dice.install(addr, data, 0)
+            static.install(addr, data, 0)
+        else:
+            assert dice.read(addr, 0).hit == static.read(addr, 0).hit
+
+
+def test_degenerate_bai_matches_static_cache_hit_for_hit():
+    dice = DICECache(
+        make_l4_config(num_sets=SETS, index_scheme="dice", dice_threshold=64)
+    )
+    static = CompressedDRAMCache(
+        make_l4_config(num_sets=SETS, index_scheme="bai")
+    )
+    for addr, data, is_install in traffic(4):
+        if is_install:
+            dice.install(addr, data, 0)
+            static.install(addr, data, 0)
+        else:
+            assert dice.read(addr, 0).hit == static.read(addr, 0).hit

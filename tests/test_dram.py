@@ -1,0 +1,184 @@
+"""Unit tests for the DRAM timing substrate (banks, channels, devices)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DRAMOrganization, DRAMTimings
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.device import DRAMDevice
+from repro.dram.mainmemory import MainMemory
+
+
+class TestBank:
+    def setup_method(self):
+        self.t = DRAMTimings()
+        self.bank = Bank(self.t)
+
+    def test_first_access_is_row_miss(self):
+        ready = self.bank.access(row=5, arrival=100)
+        assert ready == 100 + self.t.tRCD + self.t.tCAS
+        assert self.bank.row_misses == 1
+
+    def test_same_row_is_row_hit(self):
+        first = self.bank.access(5, 0)
+        ready = self.bank.access(5, first)
+        assert ready == first + self.t.tCAS
+        assert self.bank.row_hits == 1
+
+    def test_other_row_is_conflict(self):
+        first = self.bank.access(5, 0)
+        ready = self.bank.access(6, first)
+        assert ready == first + self.t.tRP + self.t.tRCD + self.t.tCAS
+        assert self.bank.row_conflicts == 1
+
+    def test_busy_bank_queues_request(self):
+        self.bank.access(5, 0)
+        early_arrival = 1
+        ready = self.bank.access(5, early_arrival)
+        assert ready >= self.bank.next_free - self.t.tCAS
+        assert ready > early_arrival + self.t.tCAS
+
+    def test_reset(self):
+        self.bank.access(5, 0)
+        self.bank.reset()
+        assert self.bank.open_row is None
+        assert self.bank.next_free == 0
+        assert self.bank.row_misses == 0
+
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 5000)), max_size=30))
+    def test_ready_times_monotonic_per_bank(self, ops):
+        """A bank's completion times never move backwards."""
+        bank = Bank(DRAMTimings())
+        last = 0
+        for row, arrival in ops:
+            ready = bank.access(row, arrival)
+            assert ready >= last
+            assert ready > arrival
+            last = ready
+
+
+class TestChannel:
+    def test_bus_serializes_bursts(self, small_org):
+        ch = Channel(small_org)
+        f1 = ch.access(bank_index=0, row=0, arrival=0, nbytes=80)
+        f2 = ch.access(bank_index=1, row=0, arrival=0, nbytes=80)
+        burst = small_org.burst_cycles(80)
+        assert f2 >= f1 + burst  # second burst waits for the bus
+
+    def test_bytes_accounted(self, small_org):
+        ch = Channel(small_org)
+        ch.access(0, 0, 0, 80)
+        ch.access(1, 0, 0, 64)
+        assert ch.bytes_transferred == 144
+        assert ch.accesses == 2
+
+    def test_reset(self, small_org):
+        ch = Channel(small_org)
+        ch.access(0, 0, 0, 80)
+        ch.reset()
+        assert ch.bytes_transferred == 0
+        assert ch.bus_next_free == 0
+
+
+class TestDevice:
+    def test_mapping_spreads_rows_across_channels(self, small_org):
+        dev = DRAMDevice(small_org)
+        rows_per = small_org.row_buffer_bytes // 64
+        a = dev.locate(0)
+        b = dev.locate(rows_per)  # next row group
+        assert a[0] != b[0]  # different channel
+
+    def test_blocks_in_same_row_share_location(self, small_org):
+        dev = DRAMDevice(small_org)
+        assert dev.locate(0) == dev.locate(1)
+
+    def test_access_latency_positive(self, small_org):
+        dev = DRAMDevice(small_org)
+        res = dev.access(block=3, arrival=50, nbytes=80)
+        assert res.latency > 0
+        assert res.finish_cycle == 50 + res.latency
+
+    def test_row_hit_faster_than_miss(self, small_org):
+        dev = DRAMDevice(small_org)
+        miss = dev.access(0, 0, 64)
+        hit = dev.access(1, miss.finish_cycle, 64)
+        assert hit.row_hit
+        assert hit.latency < miss.latency
+
+    def test_total_counters(self, small_org):
+        dev = DRAMDevice(small_org)
+        dev.access(0, 0, 64)
+        dev.access(100, 0, 80)
+        assert dev.total_accesses == 2
+        assert dev.total_bytes_transferred == 144
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 1 << 30))
+    def test_locate_in_bounds(self, block):
+        org = DRAMOrganization(channels=4, banks_per_channel=16, bus_bytes=16)
+        dev = DRAMDevice(org)
+        channel, bank, row = dev.locate(block)
+        assert 0 <= channel < 4
+        assert 0 <= bank < 16
+        assert row >= 0
+
+
+class TestMainMemory:
+    def test_lazy_materialization(self):
+        calls = []
+
+        def gen(addr):
+            calls.append(addr)
+            return bytes([addr & 0xFF] * 64)
+
+        mem = MainMemory(
+            DRAMOrganization(channels=1, banks_per_channel=2, bus_bytes=8), gen
+        )
+        assert mem.read_data(7) == bytes([7] * 64)
+        assert mem.read_data(7) == bytes([7] * 64)
+        assert calls == [7]  # generated once
+
+    def test_write_then_read_roundtrip(self, small_org, random_line):
+        mem = MainMemory(small_org)
+        mem.write_data(42, random_line)
+        assert mem.read_data(42) == random_line
+
+    def test_write_rejects_partial_line(self, small_org):
+        mem = MainMemory(small_org)
+        with pytest.raises(ValueError):
+            mem.write_data(0, b"partial")
+
+    def test_timed_ops_count(self, small_org, random_line):
+        mem = MainMemory(small_org)
+        data, res = mem.read(3, arrival=10)
+        assert len(data) == 64
+        assert res.latency > 0
+        mem.write(3, random_line, arrival=res.finish_cycle)
+        assert mem.reads == 1
+        assert mem.writes == 1
+
+    def test_default_generator_is_zero(self, small_org):
+        mem = MainMemory(small_org)
+        assert mem.read_data(999) == bytes(64)
+
+
+class TestTimings:
+    def test_scaled_latency_halves(self):
+        t = DRAMTimings().scaled_latency(0.5)
+        assert t.tCAS == 22
+        assert t.tRCD == 22
+
+    def test_scaled_latency_floor(self):
+        t = DRAMTimings().scaled_latency(0.001)
+        assert t.tCAS >= 1
+
+    def test_burst_cycles_scale_with_bytes(self, small_org):
+        assert small_org.burst_cycles(160) > small_org.burst_cycles(16)
+
+    def test_burst_cycles_minimum_one(self, small_org):
+        assert small_org.burst_cycles(1) >= 1

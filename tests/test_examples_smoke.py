@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts run and produce their key output.
+
+Each example is exercised as a subprocess with small arguments, proving
+the documented entry points work against the installed package (imports,
+argument handling, output shape) without paying full simulation budgets.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    env = dict(os.environ, REPRO_DISK_CACHE="0")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_compression_explorer():
+    out = run_example("compression_explorer.py")
+    assert "hybrid" in out
+    assert "pair with shared BDI base: 68 B" in out
+
+def test_trace_replay():
+    out = run_example("trace_replay.py", "sphinx", "600")
+    assert "round-trip OK" in out
+    assert "dice" in out
+    assert "scc" in out
+
+
+def test_latency_study():
+    out = run_example("latency_study.py", "sphinx", "800")
+    assert "demand-miss latency" in out
+    assert "p99" in out
+
+
+def test_design_space():
+    out = run_example("design_space.py", "sphinx", "400")
+    assert "best threshold" in out
+    assert "64 B" in out

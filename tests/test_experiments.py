@@ -1,0 +1,75 @@
+"""Tests for the per-figure experiment drivers (tiny runs, no disk cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.harness import experiments
+from repro.harness.runner import clear_cache
+from repro.sim.engine import SimulationParams
+
+TINY = SimulationParams(accesses_per_core=150, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setattr(runner_mod, "_DISK_CACHE", False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_fig04_shape():
+    headers, rows, summary = experiments.fig04_compressibility(
+        lines_per_workload=200
+    )
+    assert headers == ["workload", "single<=32", "single<=36", "double<=68"]
+    assert len(rows) == 22  # 16 SPEC + 6 GAP (mixes excluded)
+    for row in rows:
+        assert 0.0 <= row[1] <= row[2] <= 100.0
+        assert 0.0 <= row[3] <= 100.0
+    assert set(summary) == {"single<=32", "single<=36", "double<=68"}
+
+
+def test_speedup_experiment_shape():
+    headers, rows, summary = experiments._speedup_experiment(
+        ["tsi"], workloads=["sphinx", "libq"], params=TINY
+    )
+    assert headers == ["workload", "tsi"]
+    assert [row[0] for row in rows] == ["sphinx", "libq"]
+    for row in rows:
+        assert row[1] > 0
+    # group summaries exist even when only some members were run
+    assert "tsi/SPEC RATE" in summary
+
+
+def test_fig11_distribution_sums():
+    headers, rows, summary = experiments.fig11_index_distribution(TINY)
+    for row in rows:
+        assert abs(sum(row[1:]) - 100.0) < 1e-6
+    assert 0.0 <= summary["decided/bai_share"] <= 100.0
+
+
+def test_table6_reports_percentages():
+    headers, rows, summary = experiments.table6_l3_hitrate(TINY)
+    assert len(rows) == 26
+    for row in rows:
+        assert 0.0 <= row[1] <= 100.0
+        assert 0.0 <= row[2] <= 100.0
+    assert summary["dice/AVG26"] >= 0.0
+
+
+def test_sec53_reports_accuracies():
+    headers, rows, summary = experiments.sec53_cip_accuracy(TINY)
+    assert len(rows) == 26
+    for row in rows:
+        for value in row[1:]:
+            assert 0.0 <= value <= 100.0
+    assert set(summary) == {"dice-ltt512", "dice", "dice-ltt8192", "write"}
+
+
+def test_groups_cover_all26():
+    assert len(experiments.GROUPS["ALL26"]) == 26
+    assert len(experiments.GROUPS["SPEC RATE"]) == 16
+    assert len(experiments.GROUPS["GAP"]) == 6

@@ -1,0 +1,122 @@
+"""Property tests for the TSI / NSI / BAI indexing schemes (Sec 4.5).
+
+BAI's three design properties (the reason it exists) are verified
+exhaustively over address ranges and by hypothesis over random addresses:
+
+1. spatial pairs (2i, 2i+1) map to one set;
+2. exactly half of all lines keep their TSI position;
+3. a line's BAI set is always its TSI set or that set's immediate
+   (aligned-pair) neighbor — same DRAM row, tag visible in one access.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexing import (
+    bai_equals_tsi,
+    bai_index,
+    index_for,
+    nsi_index,
+    tsi_index,
+)
+
+SETS = st.sampled_from([2, 4, 8, 64, 1024, 65536])
+ADDRS = st.integers(0, 1 << 48)
+
+
+class TestTSI:
+    def test_consecutive_lines_consecutive_sets(self):
+        assert [tsi_index(i, 8) for i in range(8)] == list(range(8))
+
+    def test_wraps(self):
+        assert tsi_index(8, 8) == 0
+
+    def test_rejects_odd_set_count(self):
+        with pytest.raises(ValueError):
+            tsi_index(0, 7)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            tsi_index(-1, 8)
+
+
+class TestNSI:
+    def test_pairs_share_set(self):
+        for i in range(0, 64, 2):
+            assert nsi_index(i, 8) == nsi_index(i + 1, 8)
+
+    def test_ignores_low_bit(self):
+        assert nsi_index(6, 8) == 3
+
+    def test_relocates_most_lines(self):
+        """NSI moves nearly every line vs TSI — the switching-cost problem."""
+        moved = sum(nsi_index(i, 64) != tsi_index(i, 64) for i in range(1024))
+        assert moved > 900
+
+
+class TestBAIFigure6:
+    """The exact mapping of Fig 6(c): 8 sets, lines A0-A15."""
+
+    def test_mapping_matches_figure(self):
+        expected = {
+            0: [0, 1], 1: [8, 9], 2: [2, 3], 3: [10, 11],
+            4: [4, 5], 5: [12, 13], 6: [6, 7], 7: [14, 15],
+        }
+        for set_index, lines in expected.items():
+            for line in lines:
+                assert bai_index(line, 8) == set_index, f"A{line}"
+
+    def test_half_keep_tsi_position(self):
+        keepers = [line for line in range(16) if bai_equals_tsi(line, 8)]
+        assert keepers == [0, 2, 4, 6, 9, 11, 13, 15]
+
+
+class TestBAIProperties:
+    @settings(max_examples=200)
+    @given(ADDRS, SETS)
+    def test_pairs_share_set(self, addr, sets):
+        even = addr & ~1
+        assert bai_index(even, sets) == bai_index(even + 1, sets)
+
+    @settings(max_examples=200)
+    @given(ADDRS, SETS)
+    def test_bai_is_tsi_or_aligned_neighbor(self, addr, sets):
+        bai = bai_index(addr, sets)
+        tsi = tsi_index(addr, sets)
+        assert bai in (tsi, tsi ^ 1)
+
+    @given(SETS)
+    @settings(max_examples=6)
+    def test_exactly_half_invariant(self, sets):
+        span = 4 * sets
+        keepers = sum(bai_equals_tsi(i, sets) for i in range(span))
+        assert keepers == span // 2
+
+    @settings(max_examples=200)
+    @given(ADDRS, SETS)
+    def test_index_in_range(self, addr, sets):
+        assert 0 <= bai_index(addr, sets) < sets
+        assert 0 <= nsi_index(addr, sets) < sets
+        assert 0 <= tsi_index(addr, sets) < sets
+
+    def test_balanced_occupancy(self):
+        """Alternating group parity spreads pairs over all sets evenly."""
+        sets = 64
+        counts = [0] * sets
+        for line in range(sets * 8):
+            counts[bai_index(line, sets)] += 1
+        assert max(counts) == min(counts)
+
+
+class TestDispatch:
+    def test_index_for_names(self):
+        assert index_for("tsi", 5, 8) == tsi_index(5, 8)
+        assert index_for("nsi", 5, 8) == nsi_index(5, 8)
+        assert index_for("bai", 5, 8) == bai_index(5, 8)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            index_for("skewed", 0, 8)

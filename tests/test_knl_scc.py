@@ -1,0 +1,145 @@
+"""Unit tests for the KNL DICE variant and the SCC comparison design."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.indexing import bai_equals_tsi
+from repro.core.knl import KNLDICECache
+from repro.dramcache.scc import SCC_WAYS, SCCDRAMCache
+
+from conftest import make_l4_config
+
+SETS = 16
+
+
+def b4d2(salt: int) -> bytes:
+    return struct.pack(
+        "<16I", *(((0x20000000 + 1500 * i + salt) & 0xFFFFFFFF) for i in range(16))
+    )
+
+
+def rand_line(seed: int) -> bytes:
+    import random
+
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def variant_line(sets: int = SETS) -> int:
+    return next(a for a in range(4 * sets) if not bai_equals_tsi(a, sets))
+
+
+def invariant_line(sets: int = SETS) -> int:
+    return next(a for a in range(4 * sets) if bai_equals_tsi(a, sets))
+
+
+class TestKNL:
+    def make(self) -> KNLDICECache:
+        return KNLDICECache(
+            make_l4_config(
+                num_sets=SETS, index_scheme="dice", neighbor_tag_visible=False
+            )
+        )
+
+    def test_forces_neighbor_tag_invisible(self):
+        cache = KNLDICECache(
+            make_l4_config(num_sets=SETS, index_scheme="dice")
+        )
+        assert not cache.config.neighbor_tag_visible
+
+    def test_miss_on_variant_line_probes_both(self):
+        cache = self.make()
+        result = cache.read(variant_line(), 0)
+        assert not result.hit
+        assert result.accesses == 2
+        assert cache.miss_double_probes == 1
+
+    def test_miss_on_invariant_line_single_probe(self):
+        cache = self.make()
+        result = cache.read(invariant_line(), 0)
+        assert not result.hit
+        assert result.accesses == 1
+
+    def test_hit_in_predicted_set_single_probe(self):
+        cache = self.make()
+        addr = variant_line()
+        cache.install(addr, b4d2(1), 0)  # trains CIP toward BAI
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.accesses == 1
+
+    def test_second_probe_finds_mispredicted_line(self):
+        cache = self.make()
+        addr = variant_line()
+        cache.install(addr, b4d2(1), 0)
+        cache.cip.update_quietly(addr, was_bai=False)  # poison
+        result = cache.read(addr, 0)
+        assert result.hit
+        assert result.accesses == 2
+
+    def test_functional_roundtrip(self):
+        cache = self.make()
+        for salt, addr in enumerate(range(2 * SETS)):
+            data = b4d2(salt) if salt % 2 else rand_line(salt)
+            cache.install(addr, data, 0)
+            got = cache.read(addr, 0)
+            assert got.hit and got.data == data
+
+
+class TestSCC:
+    def make(self) -> SCCDRAMCache:
+        return SCCDRAMCache(make_l4_config(num_sets=64, index_scheme="scc"))
+
+    def test_every_read_costs_four_accesses(self):
+        cache = self.make()
+        before = cache.device.total_accesses
+        result = cache.read(5, 0)
+        assert result.accesses == SCC_WAYS
+        assert cache.device.total_accesses == before + SCC_WAYS
+
+    def test_miss_then_hit_roundtrip(self):
+        cache = self.make()
+        data = b4d2(3)
+        assert not cache.read(9, 0).hit
+        cache.install(9, data, 0)
+        result = cache.read(9, 0)
+        assert result.hit
+        assert result.data == data
+
+    def test_reinstall_leaves_single_copy(self):
+        cache = self.make()
+        cache.install(9, b4d2(1), 0)  # compressible way
+        cache.install(9, rand_line(1), 0)  # moves to another way
+        assert cache.read(9, 0).data == rand_line(1)
+        assert cache.valid_line_count() == 1
+
+    def test_skewed_locations_differ_by_way(self):
+        cache = self.make()
+        locations = {cache._location(42, way) for way in range(SCC_WAYS)}
+        assert len(locations) > 1
+
+    def test_dirty_eviction_writes_back(self):
+        cache = self.make()
+        # Fill one skewed set with incompressible lines of one superblock
+        # class until something dirty falls out.
+        writebacks = []
+        for i in range(200):
+            res = cache.install(i * 4, rand_line(i), 0, dirty=True)
+            writebacks.extend(res.writebacks)
+        assert writebacks
+
+    def test_hit_rate_and_reset(self):
+        cache = self.make()
+        cache.install(9, b4d2(1), 0)
+        cache.read(9, 0)
+        cache.read(1000, 0)
+        assert cache.hit_rate == 0.5
+        cache.reset_stats()
+        assert cache.hit_rate == 0.0
+
+    def test_install_rejects_partial_line(self):
+        with pytest.raises(ValueError):
+            self.make().install(0, b"x", 0)

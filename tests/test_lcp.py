@@ -1,0 +1,90 @@
+"""Unit tests for the LCP-style fixed-target compressed cache."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.dramcache.lcp import TARGET_SIZE, LCPDRAMCache
+
+from conftest import make_l4_config
+
+
+def tiny_line(salt: int) -> bytes:
+    """BDI base8-delta1: 16 B, exactly the LCP target."""
+    base = 0x7000_0000_0000 + salt * 0x10000
+    return struct.pack("<8Q", *(base + i for i in range(8)))
+
+
+def rand_line(seed: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def make_cache() -> LCPDRAMCache:
+    return LCPDRAMCache(make_l4_config(num_sets=32, index_scheme="lcp"))
+
+
+class TestLCP:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.read(5, 0).hit
+        cache.install(5, tiny_line(1), 0)
+        result = cache.read(5, 0)
+        assert result.hit
+        assert result.data == tiny_line(1)
+        assert result.accesses == 1
+
+    def test_exception_line_costs_second_access(self):
+        cache = make_cache()
+        cache.install(5, rand_line(1), 0)
+        result = cache.read(5, 0)
+        assert result.hit
+        assert result.accesses == 2
+        assert cache.exception_accesses == 1
+
+    def test_exception_install_costs_extra_access(self):
+        cache = make_cache()
+        ok = cache.install(5, tiny_line(1), 0)
+        bad = cache.install(6, rand_line(1), 0)
+        assert bad.accesses == ok.accesses + 1
+
+    def test_target_sized_read_forwards_neighbor(self):
+        cache = make_cache()
+        cache.install(10, tiny_line(1), 0)
+        cache.install(11, tiny_line(2), 0)
+        result = cache.read(10, 0)
+        assert (11, tiny_line(2)) in result.extra_lines
+
+    def test_exception_read_forwards_nothing(self):
+        cache = make_cache()
+        cache.install(10, rand_line(1), 0)
+        cache.install(11, tiny_line(2), 0)
+        assert cache.read(10, 0).extra_lines == []
+
+    def test_dirty_victim_writeback(self):
+        cache = make_cache()
+        cache.install(5, tiny_line(1), 0, dirty=True)
+        result = cache.install(5 + 32, tiny_line(2), 0)
+        assert result.writebacks == [(5, tiny_line(1))]
+
+    def test_rejects_partial_line(self):
+        with pytest.raises(ValueError):
+            make_cache().install(0, b"x", 0)
+
+    def test_target_constant_matches_paper(self):
+        assert TARGET_SIZE == 16  # LCP compresses lines to one quarter
+
+    def test_build_l4_resolves_lcp(self):
+        from repro.sim.system import build_l4
+
+        cache = build_l4(make_l4_config(num_sets=32, index_scheme="lcp"))
+        assert isinstance(cache, LCPDRAMCache)
+
+    def test_runner_config_exists(self):
+        from repro.harness.runner import make_config
+
+        cfg = make_config("lcp", scale=65536)
+        assert cfg.l4.index_scheme == "lcp"

@@ -1,0 +1,61 @@
+"""The documented public API surface exists and is importable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.compression",
+    "repro.dram",
+    "repro.cache",
+    "repro.dramcache",
+    "repro.core",
+    "repro.workloads",
+    "repro.sim",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_importable(module_name):
+    module = importlib.import_module(module_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    assert callable(repro.run_workload)
+    assert callable(repro.make_config)
+    assert callable(repro.speedup)
+    assert repro.__version__
+
+
+def test_every_public_item_documented():
+    """Every public class/function in the library carries a docstring."""
+    import inspect
+
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+def test_standard_configs_cover_paper_designs():
+    from repro import STANDARD_CONFIGS
+
+    for required in ("base", "tsi", "bai", "dice", "scc", "2xcap2xbw"):
+        assert required in STANDARD_CONFIGS

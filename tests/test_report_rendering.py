@@ -1,0 +1,59 @@
+"""Additional rendering/reporting edge-case tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.report import format_table, geomean, group_geomeans
+from repro.sim.stats import ascii_bar_chart
+
+
+class TestFormatTableEdges:
+    def test_mixed_types(self):
+        out = format_table(["a", "b"], [[1, "x"], [2.5, None]])
+        assert "2.500" in out
+        assert "None" in out
+
+    def test_single_column(self):
+        out = format_table(["only"], [["v"]])
+        assert out.splitlines()[0] == "only"
+
+    def test_wide_cells_expand_columns(self):
+        out = format_table(["h"], [["a-very-long-cell-value"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("a-very-long-cell-value")
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+
+class TestGeomeanEdges:
+    def test_geomean_is_scale_invariant(self):
+        base = [1.1, 0.9, 1.3]
+        scaled = [2 * v for v in base]
+        assert geomean(scaled) == pytest.approx(2 * geomean(base))
+
+    def test_geomean_below_one(self):
+        assert geomean([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_group_geomeans_ignores_missing_members(self):
+        result = group_geomeans({"a": 2.0}, {"g": ["a", "missing"]})
+        assert result["g"] == pytest.approx(2.0)
+
+    def test_group_geomeans_empty_group_is_nan(self):
+        result = group_geomeans({}, {"g": ["x"]})
+        assert math.isnan(result["g"])
+
+
+class TestAsciiChartEdges:
+    def test_zero_values(self):
+        out = ascii_bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in out and "b" in out
+
+    def test_labels_aligned(self):
+        out = ascii_bar_chart([("x", 1.0), ("longer", 1.0)])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")

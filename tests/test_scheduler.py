@@ -1,0 +1,145 @@
+"""Unit tests for the FR-FCFS channel scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DRAMOrganization
+from repro.dram.channel import Channel
+from repro.dram.scheduler import FRFCFSChannel
+
+
+def org() -> DRAMOrganization:
+    return DRAMOrganization(channels=1, banks_per_channel=4, bus_bytes=16)
+
+
+class TestAdmission:
+    def test_enqueue_and_drain(self):
+        ch = FRFCFSChannel(org())
+        ch.enqueue(0, 1, 64, is_write=False, arrival=0)
+        ch.enqueue(1, 2, 64, is_write=True, arrival=0)
+        served = ch.drain()
+        assert len(served) == 2
+        assert all(r.finish_cycle is not None for r in served)
+        assert ch.stats.served_reads == 1
+        assert ch.stats.served_writes == 1
+
+    def test_queue_depth_backpressure(self):
+        ch = FRFCFSChannel(org(), read_queue_depth=2)
+        assert ch.enqueue(0, 1, 64, is_write=False, arrival=0)
+        assert ch.enqueue(0, 1, 64, is_write=False, arrival=0)
+        assert ch.enqueue(0, 1, 64, is_write=False, arrival=0) is None
+
+    def test_bad_water_marks_rejected(self):
+        with pytest.raises(ValueError):
+            FRFCFSChannel(org(), write_high_water=0.2, write_low_water=0.5)
+
+
+class TestScheduling:
+    def test_row_hit_served_before_older_miss(self):
+        """First-Ready: a younger request to the open row jumps the queue."""
+        ch = FRFCFSChannel(org())
+        ch.enqueue(0, row=7, nbytes=64, is_write=False, arrival=0)
+        first = ch.step()
+        assert first.row == 7
+        # queue: older request to row 9 (miss), younger to open row 7 (hit)
+        ch.enqueue(0, row=9, nbytes=64, is_write=False, arrival=10)
+        ch.enqueue(0, row=7, nbytes=64, is_write=False, arrival=20)
+        second = ch.step()
+        assert second.row == 7  # the hit wins despite arriving later
+        third = ch.step()
+        assert third.row == 9
+
+    def test_reads_prioritized_over_writes(self):
+        ch = FRFCFSChannel(org())
+        ch.enqueue(0, 1, 64, is_write=True, arrival=0)
+        ch.enqueue(1, 2, 64, is_write=False, arrival=5)
+        first = ch.step()
+        assert not first.is_write
+
+    def test_write_drain_mode(self):
+        """Past the high-water mark, writes drain in a batch."""
+        ch = FRFCFSChannel(
+            org(), write_queue_depth=8, write_high_water=0.5, write_low_water=0.25
+        )
+        for i in range(4):  # hits the high-water mark (4 >= 8*0.5)
+            ch.enqueue(i % 4, i, 64, is_write=True, arrival=i)
+        ch.enqueue(0, 99, 64, is_write=False, arrival=10)
+        first = ch.step()
+        assert first.is_write  # drain preempts the read
+        assert ch.stats.write_drains >= 0
+        ch.drain()
+        assert ch.stats.served_writes == 4
+
+    def test_finish_cycles_monotonic_on_bus(self):
+        ch = FRFCFSChannel(org())
+        for i in range(10):
+            ch.enqueue(i % 4, i, 80, is_write=False, arrival=0)
+        served = ch.drain()
+        finishes = [r.finish_cycle for r in served]
+        assert finishes == sorted(finishes)
+
+    def test_empty_step_returns_none(self):
+        assert FRFCFSChannel(org()).step() is None
+
+
+class TestCrossValidation:
+    def test_bandwidth_ceiling_matches_o1_model(self):
+        """Under saturation, the scheduler and the O(1) channel model agree
+        on sustained bandwidth within 20%: both are bus-limited."""
+        organization = org()
+        n = 400
+        # O(1) model
+        simple = Channel(organization)
+        finish_simple = 0
+        for i in range(n):
+            finish_simple = simple.access(i % 4, i // 8, 0, 80)
+        # FR-FCFS model
+        sched = FRFCFSChannel(organization, read_queue_depth=n)
+        for i in range(n):
+            sched.enqueue(i % 4, i // 8, 80, is_write=False, arrival=0)
+        served = sched.drain()
+        finish_sched = max(r.finish_cycle for r in served)
+        ratio = finish_sched / finish_simple
+        assert 0.8 <= ratio <= 1.25, ratio
+
+    def test_row_locality_improves_throughput(self):
+        organization = org()
+        hits = FRFCFSChannel(organization, read_queue_depth=200)
+        for i in range(100):
+            hits.enqueue(0, 5, 64, is_write=False, arrival=0)  # one row
+        t_hits = max(r.finish_cycle for r in hits.drain())
+        conflicts = FRFCFSChannel(organization, read_queue_depth=200)
+        for i in range(100):
+            conflicts.enqueue(0, i, 64, is_write=False, arrival=0)
+        t_conflicts = max(r.finish_cycle for r in conflicts.drain())
+        assert t_hits < t_conflicts
+        assert hits.stats.row_hit_rate > 0.9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 3),
+            st.integers(0, 6),
+            st.booleans(),
+            st.integers(0, 500),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_every_admitted_request_is_served_once(ops):
+    ch = FRFCFSChannel(org())
+    admitted = 0
+    for bank, row, is_write, arrival in ops:
+        if ch.enqueue(bank, row, 64, is_write=is_write, arrival=arrival):
+            admitted += 1
+    served = ch.drain()
+    assert len(served) == admitted
+    assert len({r.request_id for r in served}) == admitted
+    for request in served:
+        assert request.finish_cycle >= request.issue_cycle >= 0

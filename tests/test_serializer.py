@@ -1,0 +1,214 @@
+"""Round-trip tests for the bit-exact 72 B set image codec."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.fpc import FPCCompressor
+from repro.compression.hybrid import HybridCompressor
+from repro.core.indexing import bai_index, tsi_index
+from repro.dramcache.cset import CompressedSet, PairSizeCache, StoredLine
+from repro.dramcache.serializer import (
+    BitReader,
+    BitWriter,
+    deserialize_set,
+    fpc_from_bytes,
+    fpc_to_bytes,
+    serialize_set,
+)
+from repro.dramcache.tad import SET_DATA_BYTES
+
+NUM_SETS = 64
+hybrid = HybridCompressor()
+pair_cache = PairSizeCache(hybrid)
+fpc = FPCCompressor()
+
+
+def stored(addr: int, data: bytes, *, dirty=False, bai=False) -> StoredLine:
+    return StoredLine(
+        line_addr=addr,
+        data=data,
+        size=hybrid.compressed_size(data),
+        dirty=dirty,
+        bai=bai,
+    )
+
+
+def b4d2(salt: int) -> bytes:
+    return struct.pack(
+        "<16I", *(((0x20000000 + 1500 * i + salt) & 0xFFFFFFFF) for i in range(16))
+    )
+
+
+def rand_line(seed: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def roundtrip(cset: CompressedSet, set_index: int):
+    image = serialize_set(cset, NUM_SETS, set_index)
+    assert image is not None
+    assert len(image) == SET_DATA_BYTES
+    return deserialize_set(image, NUM_SETS, set_index)
+
+
+class TestBitIO:
+    def test_writer_reader_agree(self):
+        writer = BitWriter()
+        values = [(5, 3), (0b1011, 4), (1000, 16), (0, 1), (1, 1)]
+        for value, nbits in values:
+            writer.write(value, nbits)
+        reader = BitReader(writer.to_bytes())
+        for value, nbits in values:
+            assert reader.read(nbits) == value
+
+    def test_writer_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(8, 3)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=30))
+    def test_random_widths_roundtrip(self, widths):
+        rng = random.Random(sum(widths))
+        pairs = [(rng.randrange(1 << w), w) for w in widths]
+        writer = BitWriter()
+        for value, nbits in pairs:
+            writer.write(value, nbits)
+        reader = BitReader(writer.to_bytes())
+        for value, nbits in pairs:
+            assert reader.read(nbits) == value
+
+
+class TestFPCBits:
+    @settings(max_examples=80)
+    @given(st.binary(min_size=64, max_size=64))
+    def test_fpc_bitstream_roundtrip(self, data):
+        tokens = fpc.compress(data).payload
+        packed = fpc_to_bytes(tokens)
+        decoded, consumed = fpc_from_bytes(packed + b"\xff" * 4)
+        assert decoded == tokens
+        assert consumed == len(packed)
+
+
+class TestSetImages:
+    def test_empty_set(self):
+        assert roundtrip(CompressedSet(), 0) == []
+
+    def test_single_raw_line(self):
+        cset = CompressedSet()
+        data = rand_line(1)
+        addr = 5 * NUM_SETS + 3  # TSI set 3
+        cset.insert(stored(addr, data, dirty=True), pair_cache)
+        lines = roundtrip(cset, 3)
+        assert len(lines) == 1
+        assert lines[0].line_addr == addr
+        assert lines[0].data == data
+        assert lines[0].dirty
+
+    def test_zero_and_bdi_and_fpc_mix(self):
+        cset = CompressedSet()
+        set_index = 2
+        zero_addr = 1 * NUM_SETS + set_index
+        bdi_addr = 3 * NUM_SETS + set_index
+        fpc_addr = 7 * NUM_SETS + set_index
+        fpc_data = struct.pack("<16i", *([5, -3, 0, 90] * 4))
+        cset.insert(stored(zero_addr, bytes(64)), pair_cache)
+        cset.insert(stored(bdi_addr, b4d2(3)), pair_cache)
+        cset.insert(stored(fpc_addr, fpc_data), pair_cache)
+        lines = {l.line_addr: l for l in roundtrip(cset, set_index)}
+        assert lines[zero_addr].data == bytes(64)
+        assert lines[bdi_addr].data == b4d2(3)
+        assert lines[fpc_addr].data == fpc_data
+
+    def test_shared_pair_image(self):
+        """Two adjacent 36 B lines: one shared tag, one shared base, 72 B."""
+        cset = CompressedSet()
+        base_addr = 10  # even; both lines in BAI set
+        set_index = bai_index(base_addr, NUM_SETS)
+        a, b = b4d2(1), b4d2(9)
+        cset.insert(stored(base_addr, a, bai=True), pair_cache)
+        cset.insert(stored(base_addr + 1, b, bai=True), pair_cache)
+        image = serialize_set(cset, NUM_SETS, set_index)
+        assert image is not None
+        lines = {l.line_addr: l for l in deserialize_set(image, NUM_SETS, set_index)}
+        assert lines[base_addr].data == a
+        assert lines[base_addr + 1].data == b
+
+    def test_bai_line_address_recovery(self):
+        """BAI-placed lines round-trip to the right address, not the
+        neighbor that shares their tag and set."""
+        for addr in range(0, 4 * NUM_SETS):
+            set_index = bai_index(addr, NUM_SETS)
+            cset = CompressedSet()
+            cset.insert(stored(addr, b4d2(addr & 0xFF), bai=True), pair_cache)
+            lines = roundtrip(cset, set_index)
+            assert [l.line_addr for l in lines] == [addr]
+
+    def test_tsi_line_address_recovery(self):
+        for addr in range(0, 4 * NUM_SETS, 7):
+            set_index = tsi_index(addr, NUM_SETS)
+            cset = CompressedSet()
+            cset.insert(stored(addr, rand_line(addr)), pair_cache)
+            lines = roundtrip(cset, set_index)
+            assert [l.line_addr for l in lines] == [addr]
+
+    def test_rep8_line(self):
+        cset = CompressedSet()
+        data = struct.pack("<Q", 0xDEADBEEF11223344) * 8
+        addr = 2 * NUM_SETS
+        cset.insert(stored(addr, data), pair_cache)
+        lines = roundtrip(cset, 0)
+        assert lines[0].data == data
+
+    def test_rejects_wrong_image_size(self):
+        with pytest.raises(ValueError):
+            deserialize_set(bytes(10), NUM_SETS, 0)
+
+    def test_mask_bearing_line_roundtrips(self):
+        """A line mixing small immediates and based values spills its
+        immediate mask into the data region and still round-trips."""
+        values = [0x20000000 + 5, 3, 0x20000000 + 9, 1] * 4
+        data = struct.pack("<16I", *values)
+        cset = CompressedSet()
+        addr = 4 * NUM_SETS + 1
+        cset.insert(stored(addr, data), pair_cache)
+        lines = roundtrip(cset, 1)
+        assert lines[0].data == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 10),
+            st.sampled_from(["zero", "b4d2", "fpcish", "rand"]),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(0, NUM_SETS - 1),
+)
+def test_any_packed_set_has_a_faithful_image(ops, set_index):
+    """Whatever fits the canonical budget serializes and round-trips
+    (the image is allowed to reject, but if produced it must be exact)."""
+    payloads = {
+        "zero": bytes(64),
+        "b4d2": b4d2(7),
+        "fpcish": struct.pack("<16i", *([9, -2, 40, 0] * 4)),
+        "rand": rand_line(99),
+    }
+    cset = CompressedSet()
+    for slot, kind in ops:
+        addr = slot * NUM_SETS + set_index  # all TSI residents of this set
+        cset.insert(stored(addr, payloads[kind]), pair_cache)
+    image = serialize_set(cset, NUM_SETS, set_index)
+    if image is None:
+        return  # physically over budget (mask spill): allowed to refuse
+    decoded = {l.line_addr: l.data for l in deserialize_set(image, NUM_SETS, set_index)}
+    expected = {a: l.data for a, l in cset.lines.items()}
+    assert decoded == expected

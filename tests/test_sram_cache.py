@@ -1,0 +1,157 @@
+"""Unit tests for the SRAM cache substrate and the L3 wrapper."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import OnChipHierarchy
+from repro.cache.replacement import LRUPolicy, RandomPolicy
+from repro.cache.sram import SRAMCache
+from repro.config import SRAMCacheConfig
+
+
+def small_config(lines: int = 32, ways: int = 4) -> SRAMCacheConfig:
+    return SRAMCacheConfig(
+        capacity_bytes=lines * 64, associativity=ways, latency_cycles=10
+    )
+
+
+def line(i: int) -> bytes:
+    return bytes([i & 0xFF] * 64)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = SRAMCache(small_config())
+        assert cache.lookup(5) is None
+        cache.install(5, line(5))
+        assert cache.lookup(5) == line(5)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_install_rejects_partial_line(self):
+        cache = SRAMCache(small_config())
+        with pytest.raises(ValueError):
+            cache.install(0, b"xx")
+
+    def test_write_hit_updates_and_dirties(self):
+        cache = SRAMCache(small_config())
+        cache.install(5, line(5))
+        assert cache.write_hit(5, line(9))
+        assert cache.lookup(5) == line(9)
+        evicted = cache.invalidate(5)
+        assert evicted is not None and evicted.dirty
+
+    def test_write_miss_returns_false(self):
+        cache = SRAMCache(small_config())
+        assert not cache.write_hit(5, line(5))
+
+    def test_reinstall_merges_dirty(self):
+        cache = SRAMCache(small_config())
+        cache.install(5, line(5), dirty=True)
+        cache.install(5, line(6), dirty=False)
+        evicted = cache.invalidate(5)
+        assert evicted.dirty  # dirtiness survives clean reinstall
+        assert evicted.data == line(6)
+
+    def test_contains_no_side_effects(self):
+        cache = SRAMCache(small_config())
+        cache.install(5, line(5))
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(5)
+        assert not cache.contains(6)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+
+class TestEviction:
+    def test_lru_victim_order(self):
+        cfg = small_config(lines=8, ways=2)  # 4 sets
+        cache = SRAMCache(cfg)
+        sets = cfg.num_sets
+        a, b, c = 0, sets, 2 * sets  # all map to set 0
+        cache.install(a, line(1))
+        cache.install(b, line(2))
+        cache.lookup(a)  # a becomes MRU
+        evicted = cache.install(c, line(3))
+        assert evicted is not None
+        assert evicted.line_addr == b
+
+    def test_eviction_reports_dirty_victims(self):
+        cfg = small_config(lines=8, ways=1)
+        cache = SRAMCache(cfg)
+        sets = cfg.num_sets
+        cache.install(0, line(1), dirty=True)
+        evicted = cache.install(sets, line(2))
+        assert evicted.dirty
+        assert evicted.data == line(1)
+
+    def test_capacity_never_exceeded(self):
+        cfg = small_config(lines=16, ways=4)
+        cache = SRAMCache(cfg)
+        for i in range(100):
+            cache.install(i, line(i))
+        assert cache.valid_line_count() <= 16
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=120))
+    def test_matches_reference_lru_model(self, addrs):
+        """The cache agrees with a simple dict+list LRU reference model."""
+        cfg = small_config(lines=16, ways=4)
+        cache = SRAMCache(cfg)
+        sets = cfg.num_sets
+        model = {s: [] for s in range(sets)}  # per-set MRU-last address list
+        for addr in addrs:
+            s = addr % sets
+            expect_hit = addr in model[s]
+            got = cache.lookup(addr)
+            assert (got is not None) == expect_hit
+            if expect_hit:
+                model[s].remove(addr)
+            else:
+                cache.install(addr, line(addr))
+                if len(model[s]) == 4:
+                    model[s].pop(0)
+            model[s].append(addr)
+
+
+class TestReplacementPolicies:
+    def test_random_policy_bounds(self):
+        policy = RandomPolicy(num_sets=4, associativity=8, seed=1)
+        for _ in range(50):
+            assert 0 <= policy.victim(2) < 8
+
+    def test_lru_policy_tracks_recency(self):
+        policy = LRUPolicy(num_sets=1, associativity=3)
+        policy.on_access(0, 0)
+        policy.on_access(0, 2)
+        policy.on_access(0, 1)
+        assert policy.victim(0) == 0
+
+
+class TestHierarchy:
+    def test_bonus_install_skips_resident(self):
+        h = OnChipHierarchy(small_config())
+        h.install(5, line(5))
+        assert h.install_bonus(5, line(5)) is None
+        assert h.bonus_installs == 0
+
+    def test_bonus_hit_accounting(self):
+        h = OnChipHierarchy(small_config())
+        h.install_bonus(7, line(7))
+        assert h.bonus_installs == 1
+        assert h.lookup(7) == line(7)
+        assert h.bonus_hits == 1
+        # second hit on the same line no longer counts as bonus-fresh
+        h.lookup(7)
+        assert h.bonus_hits == 1
+
+    def test_reset_stats(self):
+        h = OnChipHierarchy(small_config())
+        h.install_bonus(7, line(7))
+        h.lookup(7)
+        h.reset_stats()
+        assert h.bonus_installs == 0
+        assert h.bonus_hits == 0
+        assert h.l3.hits == 0

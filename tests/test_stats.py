@@ -1,0 +1,135 @@
+"""Unit tests for the observability helpers (histograms, bandwidth)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    BandwidthTracker,
+    LatencyHistogram,
+    ascii_bar_chart,
+)
+
+
+class TestLatencyHistogram:
+    def test_records_in_right_buckets(self):
+        hist = LatencyHistogram(bounds=(10, 100))
+        hist.record(5)
+        hist.record(50)
+        hist.record(5000)
+        assert hist.counts == [1, 1, 1]
+        assert hist.total == 3
+        assert hist.max == 5000
+
+    def test_mean(self):
+        hist = LatencyHistogram()
+        for value in (10, 20, 30):
+            hist.record(value)
+        assert hist.mean == pytest.approx(20.0)
+
+    def test_percentile(self):
+        hist = LatencyHistogram(bounds=(10, 100, 1000))
+        for _ in range(99):
+            hist.record(5)
+        hist.record(500)
+        assert hist.percentile(50) == 10
+        assert hist.percentile(100) == 1000
+
+    def test_percentile_validation(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(99) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(10, 5))
+
+    def test_rows_fractions_sum_to_one(self):
+        hist = LatencyHistogram(bounds=(10, 100))
+        for value in (1, 2, 50, 5000):
+            hist.record(value)
+        rows = hist.rows()
+        assert len(rows) == 3
+        assert sum(frac for _, _, frac in rows) == pytest.approx(1.0)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=200))
+    def test_totals_invariant(self, values):
+        hist = LatencyHistogram()
+        for value in values:
+            hist.record(value)
+        assert hist.total == len(values)
+        assert sum(hist.counts) == len(values)
+        assert hist.max == max(values)
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+
+
+class TestBandwidthTracker:
+    def test_windows_accumulate(self):
+        bw = BandwidthTracker(window_cycles=100)
+        bw.record(10, 80)
+        bw.record(50, 80)
+        bw.record(150, 80)
+        series = bw.series()
+        assert series[0] == (0, 1.6)
+        assert series[1] == (100, 0.8)
+
+    def test_peak_and_mean(self):
+        bw = BandwidthTracker(window_cycles=10)
+        bw.record(0, 100)
+        bw.record(25, 50)
+        assert bw.peak_bytes_per_cycle == pytest.approx(10.0)
+        assert bw.mean_bytes_per_cycle == pytest.approx(150 / 30)
+
+    def test_empty(self):
+        bw = BandwidthTracker()
+        assert bw.series() == []
+        assert bw.peak_bytes_per_cycle == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BandwidthTracker().record(-1, 10)
+
+
+class TestAsciiChart:
+    def test_renders_rows(self):
+        out = ascii_bar_chart([("a", 1.0), ("bb", 2.0)], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # peak gets full width
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert ascii_bar_chart([]) == "(no data)"
+
+
+class TestSystemIntegration:
+    def test_latency_histogram_populated_by_misses(self):
+        from repro.config import SystemConfig
+        from repro.sim.system import MemorySystem
+        from repro.workloads.base import Access
+
+        system = MemorySystem(
+            SystemConfig.paper_scale(65536), lambda addr: bytes(64)
+        )
+        for i in range(50):
+            system.handle_access(
+                Access(line_addr=i * 37, is_write=False, pc=1, inst_gap=10),
+                i * 100,
+            )
+        assert system.demand_latency.total > 0
+        assert system.demand_latency.mean > 0
+        assert system.l4_bandwidth.series()

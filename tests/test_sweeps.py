@@ -1,0 +1,45 @@
+"""Tests for the design-space sweep utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sweeps import sweep_l4, threshold_sweep
+from repro.sim.engine import SimulationParams
+
+TINY = SimulationParams(accesses_per_core=150, seed=4)
+
+
+class TestSweepL4:
+    def test_points_returned_per_override(self):
+        points = sweep_l4(
+            "sphinx",
+            [{"dice_threshold": 32}, {"dice_threshold": 40}],
+            scale=65536,
+            params=TINY,
+        )
+        assert len(points) == 2
+        for override, speedup, result in points:
+            assert "dice_threshold" in override
+            assert speedup > 0
+            assert result.config_name == "dice"
+
+    def test_override_actually_applied(self):
+        points = sweep_l4(
+            "sphinx", [{"cip_entries": 64}], scale=65536, params=TINY
+        )
+        # cannot read the config back from the result, but the run must
+        # complete and report CIP stats from the overridden predictor
+        _override, _speedup, result = points[0]
+        assert result.cip_accuracy is not None
+
+
+class TestThresholdSweep:
+    def test_curve_endpoints_are_static_designs(self):
+        curve = threshold_sweep(
+            "sphinx", thresholds=(0, 36, 64), scale=65536, params=TINY
+        )
+        thresholds = [t for t, _ in curve]
+        assert thresholds == [0, 36, 64]
+        for _t, speedup in curve:
+            assert speedup > 0

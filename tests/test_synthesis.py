@@ -1,0 +1,118 @@
+"""Tests for profile fitting from recorded traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import capture_trace
+from repro.workloads.base import Access, TraceGenerator, WorkloadProfile
+from repro.workloads.registry import get_profile
+from repro.workloads.synthesis import (
+    TraceCharacteristics,
+    fit_profile,
+    measure_trace,
+)
+
+
+def sequential_accesses(n: int, gap: int = 50):
+    return [
+        Access(line_addr=i, is_write=False, pc=1, inst_gap=gap)
+        for i in range(n)
+    ]
+
+
+class TestMeasure:
+    def test_sequential_run_length(self):
+        measured = measure_trace(sequential_accesses(100))
+        assert measured.mean_run_length == pytest.approx(100.0)
+        assert measured.distinct_lines == 100
+        assert measured.write_fraction == 0.0
+
+    def test_random_run_length_near_one(self):
+        import random
+
+        rng = random.Random(1)
+        accesses = [
+            Access(line_addr=rng.randrange(10_000) * 2, is_write=False, pc=1, inst_gap=10)
+            for _ in range(500)
+        ]
+        measured = measure_trace(accesses)
+        assert measured.mean_run_length < 1.5
+
+    def test_apki(self):
+        measured = measure_trace(sequential_accesses(100, gap=100))
+        # 100 accesses per 10_000 instructions = 10 APKI
+        assert measured.apki == pytest.approx(10.0)
+
+    def test_write_fraction(self):
+        accesses = [
+            Access(line_addr=i, is_write=i % 4 == 0, pc=1, inst_gap=10)
+            for i in range(200)
+        ]
+        assert measure_trace(accesses).write_fraction == pytest.approx(0.25)
+
+    def test_hot_fraction_of_skewed_trace(self):
+        # 90% of accesses to one page, 10% spread over 99 pages
+        accesses = []
+        for i in range(900):
+            accesses.append(Access(line_addr=i % 16, is_write=False, pc=1, inst_gap=10))
+        for i in range(100):
+            accesses.append(
+                Access(line_addr=16 * (1 + i), is_write=False, pc=1, inst_gap=10)
+            )
+        measured = measure_trace(accesses)
+        assert measured.hot_access_fraction > 0.85
+
+    def test_size_bands_with_data(self):
+        gen = TraceGenerator(get_profile("soplex"), scale=8192, seed=1)
+        trace = capture_trace(gen, 400)
+        measured = measure_trace(trace.accesses, trace.line_data)
+        assert measured.size_bands
+        # bands are cumulative fractions
+        previous = 0.0
+        for label in ("<=8", "<=20", "<=32", "<=36", "<=48", "<=64"):
+            assert measured.size_bands[label] >= previous
+            previous = measured.size_bands[label]
+        assert measured.size_bands["<=64"] == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            measure_trace([])
+
+    def test_as_dict(self):
+        d = measure_trace(sequential_accesses(10)).as_dict()
+        assert d["accesses"] == 10
+
+
+class TestFitProfile:
+    def test_fit_recovers_streaming_shape(self):
+        profile = fit_profile("stream", sequential_accesses(2000))
+        assert profile.seq_run > 50
+        assert profile.write_frac == 0.0
+        assert profile.suite == "fitted"
+
+    def test_fitted_profile_is_simulatable(self):
+        gen = TraceGenerator(get_profile("gcc"), scale=8192, seed=5)
+        trace = capture_trace(gen, 600)
+        profile = fit_profile(
+            "gcc-fit", trace.accesses, trace.line_data, scale_hint=8192
+        )
+        regen = TraceGenerator(profile, scale=8192, seed=1)
+        import itertools
+
+        sample = list(itertools.islice(iter(regen), 100))
+        assert len(sample) == 100
+        assert all(len(regen.line_data(a.line_addr)) == 64 for a in sample)
+
+    def test_fit_compressibility_carries_over(self):
+        """A trace of compressible data fits to compressible classes."""
+        gen = TraceGenerator(get_profile("zeusmp"), scale=8192, seed=2)
+        trace = capture_trace(gen, 600)
+        profile = fit_profile("z-fit", trace.accesses, trace.line_data)
+        assert any(
+            cls in profile.class_weights for cls in ("small4", "mid36", "zero")
+        )
+
+    def test_fit_without_data_defaults_incompressible(self):
+        profile = fit_profile("nodata", sequential_accesses(100))
+        assert profile.class_weights == {"rand": 1.0}

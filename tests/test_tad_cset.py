@@ -1,0 +1,171 @@
+"""Unit/property tests for the TAD tag format and compressed-set packing."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.hybrid import HybridCompressor
+from repro.config import MAX_LINES_PER_SET, TAG_BYTES_COMPRESSED
+from repro.dramcache.cset import CompressedSet, PairSizeCache, StoredLine
+from repro.dramcache.tad import SET_DATA_BYTES, TagEntry, set_layout_bytes
+
+hybrid = HybridCompressor()
+pair_cache = PairSizeCache(hybrid)
+
+
+def stored(addr: int, data: bytes, dirty: bool = False) -> StoredLine:
+    return StoredLine(
+        line_addr=addr, data=data, size=hybrid.compressed_size(data), dirty=dirty
+    )
+
+
+def b4d2(salt: int, base: int = 0x20000000) -> bytes:
+    """36 B base4-delta2 line."""
+    return struct.pack(
+        "<16I", *(((base + 1500 * i + salt) & 0xFFFFFFFF) for i in range(16))
+    )
+
+
+class TestTagEntry:
+    def test_roundtrip_all_flags(self):
+        entry = TagEntry(
+            tag=0x2ABCD, valid=True, dirty=True, next_tag_valid=True,
+            bai=True, shared=True, metadata=0x1FF,
+        )
+        assert TagEntry.decode(entry.encode()) == entry
+
+    def test_tag_width_enforced(self):
+        with pytest.raises(ValueError):
+            TagEntry(tag=1 << 18).encode()
+
+    def test_metadata_width_enforced(self):
+        with pytest.raises(ValueError):
+            TagEntry(tag=0, metadata=1 << 9).encode()
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            TagEntry.decode(1 << 32)
+
+    @settings(max_examples=150)
+    @given(
+        st.integers(0, (1 << 18) - 1),
+        st.booleans(), st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+        st.integers(0, (1 << 9) - 1),
+    )
+    def test_roundtrip_property(self, tag, valid, dirty, ntv, bai, shared, meta):
+        entry = TagEntry(
+            tag=tag, valid=valid, dirty=dirty, next_tag_valid=ntv,
+            bai=bai, shared=shared, metadata=meta,
+        )
+        word = entry.encode()
+        assert 0 <= word < (1 << 32)
+        assert TagEntry.decode(word) == entry
+
+    def test_layout_bytes(self):
+        assert set_layout_bytes(2, 60) == 68
+        with pytest.raises(ValueError):
+            set_layout_bytes(-1, 0)
+
+
+class TestCompressedSetPacking:
+    def test_single_uncompressed_line_fits(self, random_line):
+        cset = CompressedSet()
+        evicted = cset.insert(stored(0, random_line), pair_cache)
+        assert evicted == []
+        assert cset.bytes_used(pair_cache) == TAG_BYTES_COMPRESSED + 64
+
+    def test_two_incompressible_lines_cannot_coexist(self, random_line):
+        cset = CompressedSet()
+        other = bytes(reversed(random_line))
+        cset.insert(stored(0, random_line), pair_cache)
+        evicted = cset.insert(stored(7, other), pair_cache)
+        assert [v.line_addr for v in evicted] == [0]
+        assert len(cset) == 1
+
+    def test_paper_pair_36_36_fits_via_shared_tag_and_base(self):
+        """Two adjacent 36 B lines -> 4 B shared tag + 68 B pair = 72 B."""
+        cset = CompressedSet()
+        assert cset.insert(stored(10, b4d2(1)), pair_cache) == []
+        assert cset.insert(stored(11, b4d2(9)), pair_cache) == []
+        assert len(cset) == 2
+        assert cset.bytes_used(pair_cache) == SET_DATA_BYTES
+
+    def test_nonadjacent_36B_lines_do_not_fit(self):
+        """Same two lines without adjacency: 2 tags + 72 B data > 72 B."""
+        cset = CompressedSet()
+        cset.insert(stored(10, b4d2(1)), pair_cache)
+        evicted = cset.insert(stored(20, b4d2(9)), pair_cache)
+        assert len(evicted) == 1
+
+    def test_tag_sharing_disabled_rejects_pair(self):
+        cset = CompressedSet(tag_sharing=False)
+        cset.insert(stored(10, b4d2(1)), pair_cache)
+        evicted = cset.insert(stored(11, b4d2(9)), pair_cache)
+        assert len(evicted) == 1  # 4+36 + 4+36 = 80 > 72
+
+    def test_many_zero_lines_pack(self, zero_line):
+        cset = CompressedSet()
+        for i in range(0, 12):
+            assert cset.insert(stored(i, zero_line), pair_cache) == []
+        assert len(cset) == 12
+
+    def test_line_count_capped(self, zero_line):
+        cset = CompressedSet()
+        for i in range(40):
+            cset.insert(stored(i, zero_line), pair_cache)
+        assert len(cset) <= MAX_LINES_PER_SET
+
+    def test_lru_eviction_order(self, random_line):
+        cset = CompressedSet()
+        a = bytes(64)  # zero line, tiny
+        cset.insert(stored(0, a), pair_cache)
+        cset.insert(stored(2, a), pair_cache)
+        cset.touch(0)  # 0 becomes MRU
+        evicted = cset.insert(stored(9, random_line), pair_cache)
+        assert [v.line_addr for v in evicted] == [2, 0][:len(evicted)] or evicted[0].line_addr == 2
+
+    def test_reinsert_merges_dirty(self, zero_line):
+        cset = CompressedSet()
+        cset.insert(stored(0, zero_line, dirty=True), pair_cache)
+        cset.insert(stored(0, zero_line, dirty=False), pair_cache)
+        assert cset.get(0).dirty
+
+    def test_remove(self, zero_line):
+        cset = CompressedSet()
+        cset.insert(stored(0, zero_line), pair_cache)
+        removed = cset.remove(0)
+        assert removed is not None
+        assert cset.remove(0) is None
+        assert len(cset) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.sampled_from(["zero", "b4d2", "rand"])),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_set_budget_invariant(ops):
+    """After any insertion sequence, the set fits its byte and count budget."""
+    import random as _random
+
+    rng = _random.Random(42)
+    payloads = {
+        "zero": bytes(64),
+        "b4d2": b4d2(3),
+        "rand": bytes(rng.randrange(256) for _ in range(64)),
+    }
+    cset = CompressedSet()
+    for addr, kind in ops:
+        cset.insert(stored(addr, payloads[kind]), pair_cache)
+        assert cset.bytes_used(pair_cache) <= SET_DATA_BYTES
+        assert len(cset) <= MAX_LINES_PER_SET
+        # every resident line is retrievable with its exact bytes
+        for resident_addr in cset.resident_addresses():
+            assert cset.get(resident_addr) is not None

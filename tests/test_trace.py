@@ -1,0 +1,142 @@
+"""Unit tests for trace capture, file format, and replay."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    RecordedTrace,
+    TraceRecorder,
+    capture_trace,
+    read_trace,
+    trace_info,
+    write_trace,
+)
+from repro.workloads.base import Access, TraceGenerator
+from repro.workloads.registry import get_profile
+
+
+def sample_accesses(n: int = 50):
+    return [
+        Access(line_addr=i * 97, is_write=i % 3 == 0, pc=0x400 + i, inst_gap=i)
+        for i in range(n)
+    ]
+
+
+class TestFileFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trc"
+        original = sample_accesses()
+        assert write_trace(path, original) == len(original)
+        assert list(read_trace(path)) == original
+
+    def test_trace_info(self, tmp_path):
+        path = tmp_path / "t.trc"
+        write_trace(path, sample_accesses(7))
+        info = trace_info(path)
+        assert info["count"] == 7
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_bytes(b"NOTATRCE" + bytes(8))
+        with pytest.raises(ValueError):
+            trace_info(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.trc"
+        path.write_bytes(b"DI")
+        with pytest.raises(ValueError):
+            trace_info(path)
+
+    def test_truncated_records_rejected(self, tmp_path):
+        path = tmp_path / "trunc.trc"
+        write_trace(path, sample_accesses(5))
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ValueError):
+            list(read_trace(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trc"
+        assert write_trace(path, []) == 0
+        assert list(read_trace(path)) == []
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, (1 << 64) - 1),
+                st.booleans(),
+                st.integers(0, (1 << 32) - 1),
+                st.integers(0, (1 << 32) - 1),
+            ),
+            max_size=40,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        import os
+        import tempfile
+
+        accesses = [
+            Access(line_addr=a, is_write=w, pc=p, inst_gap=g)
+            for a, w, p, g in rows
+        ]
+        fd, path = tempfile.mkstemp(suffix=".trc")
+        os.close(fd)
+        try:
+            write_trace(path, accesses)
+            assert list(read_trace(path)) == accesses
+        finally:
+            os.unlink(path)
+
+
+class TestRecorder:
+    def test_recorder_passes_through(self):
+        accesses = sample_accesses(10)
+        recorder = TraceRecorder(accesses)
+        seen = list(itertools.islice(iter(recorder), 6))
+        assert seen == accesses[:6]
+        assert recorder.recorded == accesses[:6]
+
+
+class TestCapture:
+    def test_capture_freezes_generator(self):
+        gen = TraceGenerator(get_profile("gcc"), scale=8192, seed=2)
+        trace = capture_trace(gen, 200)
+        assert len(trace) == 200
+        assert trace.distinct_lines() <= 200
+        assert 0.0 <= trace.write_fraction() <= 1.0
+        # data image covers every touched line
+        for access in trace:
+            assert len(trace.line_data(access.line_addr)) == 64
+
+    def test_capture_matches_generator_data(self):
+        gen = TraceGenerator(get_profile("gcc"), scale=8192, seed=2)
+        trace = capture_trace(gen, 50)
+        fresh = TraceGenerator(get_profile("gcc"), scale=8192, seed=2)
+        for access in trace:
+            assert trace.line_data(access.line_addr) == fresh.line_data(
+                access.line_addr
+            )
+
+    def test_capture_without_data(self):
+        gen = TraceGenerator(get_profile("gcc"), scale=8192, seed=2)
+        trace = capture_trace(gen, 20, with_data=False)
+        assert trace.data_image == {}
+        assert trace.line_data(trace.accesses[0].line_addr) == bytes(64)
+
+    def test_capture_rejects_zero_count(self):
+        gen = TraceGenerator(get_profile("gcc"), scale=8192, seed=2)
+        with pytest.raises(ValueError):
+            capture_trace(gen, 0)
+
+    def test_capture_then_file_roundtrip(self, tmp_path):
+        gen = TraceGenerator(get_profile("astar"), scale=8192, seed=4)
+        trace = capture_trace(gen, 100, with_data=False)
+        path = tmp_path / "astar.trc"
+        write_trace(path, trace)
+        assert list(read_trace(path)) == trace.accesses

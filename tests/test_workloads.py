@@ -1,0 +1,218 @@
+"""Unit tests for the synthetic workload substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.hybrid import HybridCompressor
+from repro.workloads.base import TraceGenerator, WorkloadProfile
+from repro.workloads.data import DATA_CLASSES, LineDataFactory
+from repro.workloads.registry import (
+    ALL26,
+    GAP_WORKLOADS,
+    MIX_WORKLOADS,
+    NON_INTENSIVE,
+    SPEC_RATE,
+    get_profile,
+    is_mix,
+    mix_members,
+    workload_names,
+)
+
+hybrid = HybridCompressor()
+
+
+class TestDataClasses:
+    def test_class_size_targets(self):
+        """Each class lands in its designed hybrid-size band (see data.py)."""
+        bands = {
+            "zero": (1, 1),
+            "narrow8": (16, 16),
+            "small4": (20, 20),
+            "quad": (14, 24),
+            "mid36": (36, 36),
+            "heavy40": (40, 40),
+            "trap36": (33, 36),
+            "text": (24, 48),
+            "rand": (64, 64),
+        }
+        for name, fn in DATA_CLASSES.items():
+            lo, hi = bands[name]
+            for addr in range(0, 48):
+                size = hybrid.compressed_size(fn(addr, 0))
+                assert lo <= size <= hi, f"{name}@{addr}: {size}"
+
+    def test_determinism(self):
+        for name, fn in DATA_CLASSES.items():
+            assert fn(123, 5) == fn(123, 5)
+
+    def test_seed_changes_content(self):
+        assert DATA_CLASSES["rand"](1, 0) != DATA_CLASSES["rand"](1, 1)
+
+    def test_lines_are_64_bytes(self):
+        for fn in DATA_CLASSES.values():
+            assert len(fn(7, 0)) == 64
+
+    def test_mid36_pairs_to_68(self):
+        """Adjacent mid36 lines share a page base -> 68 B pairs."""
+        from repro.compression.pair import pair_compressed_size
+
+        fn = DATA_CLASSES["mid36"]
+        size, shared = pair_compressed_size(hybrid, fn(2, 0), fn(3, 0))
+        assert shared
+        assert size == 68
+
+
+class TestLineDataFactory:
+    def test_distribution_tracks_weights(self):
+        factory = LineDataFactory({"zero": 0.5, "rand": 0.5}, seed=1)
+        classes = [factory.class_for_page(p) for p in range(4000)]
+        zero_frac = classes.count("zero") / len(classes)
+        assert 0.42 <= zero_frac <= 0.58
+
+    def test_same_region_same_class(self):
+        factory = LineDataFactory({"zero": 0.5, "rand": 0.5}, seed=1)
+        for page in range(50):
+            base = page * 16
+            classes = {factory.class_for_line(base + i) for i in range(16)}
+            assert len(classes) == 1
+
+    def test_rejects_unknown_class(self):
+        with pytest.raises(ValueError):
+            LineDataFactory({"bogus": 1.0})
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            LineDataFactory({})
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            LineDataFactory({"zero": 0.0})
+
+    def test_mutated_data_keeps_class_size_band(self):
+        factory = LineDataFactory({"mid36": 1.0}, seed=2)
+        original = hybrid.compressed_size(factory.line_data(5))
+        mutated = hybrid.compressed_size(factory.mutated_line_data(5, 3))
+        assert original == mutated == 36
+
+
+class TestTraceGenerator:
+    def make(self, **overrides) -> TraceGenerator:
+        profile = get_profile("soplex")
+        return TraceGenerator(profile, scale=4096, **overrides)
+
+    def test_deterministic_given_seed(self):
+        a = [next(iter(self.make(seed=3))) for _ in range(1)]
+        first = list(itertools.islice(iter(self.make(seed=3)), 200))
+        second = list(itertools.islice(iter(self.make(seed=3)), 200))
+        assert first == second
+
+    def test_seed_changes_stream(self):
+        first = list(itertools.islice(iter(self.make(seed=3)), 200))
+        second = list(itertools.islice(iter(self.make(seed=4)), 200))
+        assert first != second
+
+    def test_core_offset_partitions_addresses(self):
+        offset = 1 << 40
+        gen = self.make(seed=1, core_offset=offset)
+        for access in itertools.islice(iter(gen), 300):
+            assert access.line_addr >= offset
+
+    def test_translation_preserves_pairs(self):
+        """VM translation keeps spatial pairs adjacent (BAI needs this)."""
+        gen = self.make(seed=1)
+        for virtual in range(0, 512, 2):
+            a = gen.translate(virtual)
+            b = gen.translate(virtual + 1)
+            assert b == a + 1
+            assert a % 2 == 0
+
+    def test_translation_is_stable(self):
+        gen = self.make(seed=1)
+        assert gen.translate(100) == gen.translate(100)
+
+    def test_translation_spreads_pages(self):
+        gen = self.make(seed=1)
+        frames = {gen.translate(p * 64) // 64 for p in range(200)}
+        assert len(frames) > 190  # collisions are rare
+
+    def test_inst_gaps_track_intensity(self):
+        """High-MPKI workloads emit accesses with short instruction gaps."""
+        hot = TraceGenerator(get_profile("pr_twi"), scale=4096, seed=1)
+        cold = TraceGenerator(get_profile("povray"), scale=4096, seed=1)
+        hot_gap = sum(a.inst_gap for a in itertools.islice(iter(hot), 500)) / 500
+        cold_gap = sum(a.inst_gap for a in itertools.islice(iter(cold), 500)) / 500
+        assert hot_gap < cold_gap
+
+    def test_write_fraction_respected(self):
+        gen = self.make(seed=2)
+        accesses = list(itertools.islice(iter(gen), 2000))
+        frac = sum(a.is_write for a in accesses) / len(accesses)
+        assert abs(frac - gen.profile.write_frac) < 0.08
+
+    def test_footprint_bounds_addresses(self):
+        gen = self.make(seed=2)
+        # translated addresses live in the 26-bit frame space
+        for access in itertools.islice(iter(gen), 500):
+            assert access.line_addr < (1 << 26) * 64 + 64
+
+
+class TestRegistry:
+    def test_group_sizes_match_paper(self):
+        assert len(SPEC_RATE) == 16
+        assert len(MIX_WORKLOADS) == 4
+        assert len(GAP_WORKLOADS) == 6
+        assert len(ALL26) == 26
+        assert len(NON_INTENSIVE) == 13
+
+    def test_profiles_resolve(self):
+        for name in SPEC_RATE + GAP_WORKLOADS + NON_INTENSIVE:
+            profile = get_profile(name)
+            assert profile.name == name
+            assert profile.footprint_bytes > 0
+            assert profile.l3_mpki > 0
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("nonexistent")
+
+    def test_mix_members_are_spec(self):
+        for mix in MIX_WORKLOADS:
+            assert is_mix(mix)
+            members = mix_members(mix)
+            assert len(members) == 8
+            assert all(m in SPEC_RATE for m in members)
+
+    def test_workload_names_groups(self):
+        assert workload_names("rate") == SPEC_RATE
+        assert workload_names("all26") == ALL26
+        with pytest.raises(KeyError):
+            workload_names("bogus")
+
+    def test_memory_intensive_cutoff(self):
+        """Table 3 selects MPKI >= 2; Fig 13's set is everything below."""
+        for name in SPEC_RATE:
+            assert get_profile(name).l3_mpki >= 2.0
+        for name in NON_INTENSIVE:
+            assert get_profile(name).l3_mpki < 2.0
+
+    def test_footprints_match_table3_spotchecks(self):
+        GB = 1 << 30
+        assert get_profile("mcf").footprint_bytes == int(13.2 * GB)
+        assert get_profile("libq").footprint_bytes == 256 << 20
+        assert get_profile("pr_twi").footprint_bytes == int(23.1 * GB)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(SPEC_RATE + GAP_WORKLOADS), st.integers(0, 5))
+def test_generator_yields_valid_accesses(name, seed):
+    gen = TraceGenerator(get_profile(name), scale=4096, seed=seed)
+    for access in itertools.islice(iter(gen), 100):
+        assert access.line_addr >= 0
+        assert access.inst_gap >= 0
+        assert isinstance(access.is_write, bool)
+        assert len(gen.line_data(access.line_addr)) == 64
