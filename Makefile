@@ -1,12 +1,17 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test check bench report examples clean
 
 install:
 	python setup.py develop
 
 test:
 	python -m pytest tests/
+
+# Tier-1 gate plus a fast fault-injection smoke of the CLI.
+check:
+	PYTHONPATH=src python -m pytest tests/ -x -q
+	REPRO_DISK_CACHE=0 PYTHONPATH=src python -m repro.harness.cli faults --accesses 500
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q -s

@@ -84,6 +84,7 @@ class CompressedDRAMCache:
             data=stored.data,
             finish_cycle=finish + DECOMPRESSION_CYCLES,
             extra_lines=extras,
+            set_index=set_index,
         )
 
     def _free_neighbors(
@@ -139,6 +140,58 @@ class CompressedDRAMCache:
     def contains(self, line_addr: int) -> bool:
         cset = self._sets.get(self.set_index(line_addr))
         return cset is not None and cset.get(line_addr) is not None
+
+    # -- resilience hooks ----------------------------------------------------
+
+    def _resident_set_index(self, line_addr: int) -> Optional[int]:
+        """Set currently holding the line, or None (DICE overrides: two)."""
+        set_index = self.set_index(line_addr)
+        cset = self._sets.get(set_index)
+        if cset is not None and cset.get(line_addr) is not None:
+            return set_index
+        return None
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line without writeback (detected-uncorrectable error)."""
+        set_index = self._resident_set_index(line_addr)
+        if set_index is None:
+            return False
+        self._sets[set_index].remove(line_addr)
+        return True
+
+    def corrupt_stored(self, line_addr: int, corrupt_fn) -> Optional[bytes]:
+        """Mutate a resident line's payload in place (silent fault).
+
+        ``corrupt_fn(old_data) -> new_data``; returns the stored corrupted
+        payload, or None when the line is not resident.  Size bookkeeping is
+        left untouched: the corrupted payload still occupies the slot its
+        original compression earned, which is what a flipped cell does to an
+        already-written frame.
+        """
+        set_index = self._resident_set_index(line_addr)
+        if set_index is None:
+            return None
+        stored = self._sets[set_index].lines[line_addr]
+        stored.data = corrupt_fn(stored.data)
+        return stored.data
+
+    def pair_buddy(self, line_addr: int) -> Optional[int]:
+        """Buddy address if the line is pair-compressed with its neighbor.
+
+        Pair-compressed lines share one tag and BDI bases inside a single
+        72 B frame (Fig 5), so a physical fault on that frame corrupts both
+        lines — the compression blast-radius effect the resilience layer
+        measures.
+        """
+        if not self.config.tag_sharing:
+            return None
+        set_index = self._resident_set_index(line_addr)
+        if set_index is None:
+            return None
+        buddy_addr = line_addr ^ 1
+        if self._sets[set_index].get(buddy_addr) is not None:
+            return buddy_addr
+        return None
 
     def valid_line_count(self) -> int:
         """Resident lines across all sets (Table 5's capacity metric)."""

@@ -102,6 +102,7 @@ class DICECache(CompressedDRAMCache):
                 data=stored.data,
                 finish_cycle=finish + DECOMPRESSION_CYCLES,
                 extra_lines=self._free_neighbors(first_set, line_addr),
+                set_index=first,
             )
 
         # Not in the predicted set.  The neighbor set's tags arrived with
@@ -120,6 +121,7 @@ class DICECache(CompressedDRAMCache):
                 finish_cycle=finish + DECOMPRESSION_CYCLES,
                 accesses=2,
                 extra_lines=self._free_neighbors(second_set, line_addr),
+                set_index=second,
             )
         if stored is not None:
             # KNL-style cache: neighbor tags are invisible, so the second
@@ -163,6 +165,7 @@ class DICECache(CompressedDRAMCache):
             data=stored.data,
             finish_cycle=finish + DECOMPRESSION_CYCLES,
             extra_lines=self._free_neighbors(cset, line_addr),
+            set_index=set_index,
         )
 
     # -- write path ------------------------------------------------------------
@@ -254,6 +257,14 @@ class DICECache(CompressedDRAMCache):
             if cset is not None and cset.get(line_addr) is not None:
                 return True
         return False
+
+    def _resident_set_index(self, line_addr: int) -> Optional[int]:
+        """Either candidate location may hold the line (at most one does)."""
+        for set_index in set(self.locations(line_addr)):
+            cset = self._sets.get(set_index)
+            if cset is not None and cset.get(line_addr) is not None:
+                return set_index
+        return None
 
     @property
     def write_prediction_accuracy(self) -> float:

@@ -65,6 +65,7 @@ class KNLDICECache(DICECache):
                 data=stored.data,
                 finish_cycle=finish + DECOMPRESSION_CYCLES,
                 extra_lines=self._free_neighbors(first_set, line_addr),
+                set_index=first,
             )
 
         # Without the neighbor tag the second location must always be
@@ -83,6 +84,7 @@ class KNLDICECache(DICECache):
                 finish_cycle=finish + DECOMPRESSION_CYCLES,
                 accesses=2,
                 extra_lines=self._free_neighbors(second_set, line_addr),
+                set_index=second,
             )
         self.read_misses += 1
         self.miss_double_probes += 1

@@ -29,6 +29,7 @@ class L4ReadResult:
     finish_cycle: int
     accesses: int = 1  # DRAM-cache accesses consumed (2 on CIP mispredict)
     extra_lines: List[Tuple[int, bytes]] = field(default_factory=list)
+    set_index: Optional[int] = None  # frame the hit came from (fault target)
 
 
 @dataclass
@@ -71,7 +72,12 @@ class AlloyCache:
         resident = self._sets.get(set_index)
         if resident is not None and resident[0] == line_addr:
             self.read_hits += 1
-            return L4ReadResult(hit=True, data=resident[1], finish_cycle=finish)
+            return L4ReadResult(
+                hit=True,
+                data=resident[1],
+                finish_cycle=finish,
+                set_index=set_index,
+            )
         self.read_misses += 1
         return L4ReadResult(hit=False, data=None, finish_cycle=finish)
 
@@ -113,6 +119,35 @@ class AlloyCache:
     def contains(self, line_addr: int) -> bool:
         resident = self._sets.get(self.set_index(line_addr))
         return resident is not None and resident[0] == line_addr
+
+    # -- resilience hooks ----------------------------------------------------
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line without writeback (detected-uncorrectable error)."""
+        set_index = self.set_index(line_addr)
+        resident = self._sets.get(set_index)
+        if resident is not None and resident[0] == line_addr:
+            del self._sets[set_index]
+            return True
+        return False
+
+    def corrupt_stored(self, line_addr: int, corrupt_fn) -> Optional[bytes]:
+        """Mutate a resident line's payload (silent fault propagation).
+
+        ``corrupt_fn(old_data) -> new_data``; returns the stored corrupted
+        payload, or None when the line is not resident.
+        """
+        set_index = self.set_index(line_addr)
+        resident = self._sets.get(set_index)
+        if resident is not None and resident[0] == line_addr:
+            data = corrupt_fn(resident[1])
+            self._sets[set_index] = (line_addr, data, resident[2])
+            return data
+        return None
+
+    def pair_buddy(self, line_addr: int) -> Optional[int]:
+        """Uncompressed frames hold one line: no co-located pair, ever."""
+        return None
 
     def valid_line_count(self) -> int:
         return len(self._sets)

@@ -102,6 +102,7 @@ class LCPDRAMCache:
             finish_cycle=finish + DECOMPRESSION_CYCLES,
             accesses=accesses,
             extra_lines=extras,
+            set_index=set_index,
         )
 
     def install(
@@ -148,6 +149,31 @@ class LCPDRAMCache:
     def contains(self, line_addr: int) -> bool:
         resident = self._sets.get(self.set_index(line_addr))
         return resident is not None and resident[0] == line_addr
+
+    # -- resilience hooks ----------------------------------------------------
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line without writeback (detected-uncorrectable error)."""
+        set_index = self.set_index(line_addr)
+        resident = self._sets.get(set_index)
+        if resident is not None and resident[0] == line_addr:
+            del self._sets[set_index]
+            return True
+        return False
+
+    def corrupt_stored(self, line_addr: int, corrupt_fn) -> Optional[bytes]:
+        """Mutate a resident line's payload (silent fault propagation)."""
+        set_index = self.set_index(line_addr)
+        resident = self._sets.get(set_index)
+        if resident is not None and resident[0] == line_addr:
+            data = corrupt_fn(resident[1])
+            self._sets[set_index] = (line_addr, data, resident[2], resident[3])
+            return data
+        return None
+
+    def pair_buddy(self, line_addr: int) -> Optional[int]:
+        """LCP frames hold one line each: no co-located compressed pair."""
+        return None
 
     def valid_line_count(self) -> int:
         return len(self._sets)

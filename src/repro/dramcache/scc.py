@@ -101,6 +101,7 @@ class SCCDRAMCache:
             data=stored.data,
             finish_cycle=finish + DECOMPRESSION_CYCLES,
             accesses=SCC_WAYS,
+            set_index=self._location(line_addr, way),
         )
 
     def install(
@@ -159,6 +160,43 @@ class SCCDRAMCache:
             if cset is not None and cset.get(line_addr) is not None:
                 return True
         return False
+
+    # -- resilience hooks ----------------------------------------------------
+
+    def _resident(self, line_addr: int) -> Optional[Tuple[int, CompressedSet]]:
+        for way in range(SCC_WAYS):
+            set_index = self._location(line_addr, way)
+            cset = self._ways[way].get(set_index)
+            if cset is not None and cset.get(line_addr) is not None:
+                return set_index, cset
+        return None
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line without writeback (detected-uncorrectable error)."""
+        found = self._resident(line_addr)
+        if found is None:
+            return False
+        found[1].remove(line_addr)
+        return True
+
+    def corrupt_stored(self, line_addr: int, corrupt_fn) -> Optional[bytes]:
+        """Mutate a resident line's payload (silent fault propagation)."""
+        found = self._resident(line_addr)
+        if found is None:
+            return None
+        stored = found[1].lines[line_addr]
+        stored.data = corrupt_fn(stored.data)
+        return stored.data
+
+    def pair_buddy(self, line_addr: int) -> Optional[int]:
+        """Buddy address when pair-compressed in the same skewed frame."""
+        found = self._resident(line_addr)
+        if found is None:
+            return None
+        buddy_addr = line_addr ^ 1
+        if found[1].get(buddy_addr) is not None:
+            return buddy_addr
+        return None
 
     def valid_line_count(self) -> int:
         return sum(

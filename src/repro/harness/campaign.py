@@ -1,0 +1,272 @@
+"""Crash-safe campaign execution: timeouts, retries, checkpoint/resume.
+
+A figure-regeneration campaign (``cli all``) is hours of simulation at
+paper fidelity.  This module keeps it restartable and self-healing:
+
+* :func:`run_with_retry` wraps one simulation in a per-run timeout and
+  exponential-backoff retry loop, so a wedged or flaky run does not take
+  the whole campaign down;
+* :func:`install_retry_executor` threads that policy under the result
+  cache, so every ``cached_run`` in every experiment inherits it;
+* :class:`Campaign` walks a list of experiments, checkpointing each
+  completed step to disk (atomically) so a killed campaign resumes where
+  it stopped.  Finer-grained resume — the completed *(workload, config)*
+  pairs inside an interrupted experiment — comes for free from the result
+  cache, which persists atomically after every single simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import runner as runner_mod
+from repro.sim.engine import run_workload
+
+CHECKPOINT_VERSION = 1
+
+DEFAULT_CHECKPOINT = Path(".campaign_checkpoint.json")
+
+
+class SimulationTimeout(Exception):
+    """One simulation exceeded its per-run wall-clock budget."""
+
+
+class SimulationFailed(Exception):
+    """A simulation kept failing after every configured retry."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-run resilience knobs for campaign execution.
+
+    ``attempts`` counts total tries (1 = no retry).  Backoff before retry
+    *n* (1-based) is ``min(backoff_base * backoff_factor**(n-1),
+    max_backoff)`` seconds.  ``timeout`` is per-attempt wall-clock seconds
+    (None = unbounded).
+    """
+
+    attempts: int = 3
+    timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff: float = 30.0
+
+    def backoff(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (1-based)."""
+        return min(
+            self.backoff_base * self.backoff_factor ** (retry_index - 1),
+            self.max_backoff,
+        )
+
+
+def _call_with_timeout(fn: Callable, args: tuple, kwargs: dict, timeout: float):
+    """Run ``fn`` with a wall-clock bound.
+
+    In the main thread of a Unix process SIGALRM interrupts the running
+    simulation directly.  Elsewhere (worker threads, platforms without
+    setitimer) the call runs on a helper thread and only the *wait* is
+    bounded — the abandoned attempt finishes in the background, which is
+    still enough for the campaign to move on.
+    """
+    use_signal = (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_signal:
+        def _alarm(_signum, _frame):
+            raise SimulationTimeout(f"run exceeded {timeout:g}s")
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(fn, *args, **kwargs)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise SimulationTimeout(f"run exceeded {timeout:g}s") from None
+
+
+def run_with_retry(
+    fn: Callable,
+    *args,
+    policy: RetryPolicy = RetryPolicy(),
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+):
+    """Call ``fn`` under the policy's timeout, retrying with backoff.
+
+    Raises :class:`SimulationFailed` (chaining the last error) once every
+    attempt is spent.  ``sleep`` is injectable so tests assert backoff
+    without waiting for it.
+    """
+    if policy.attempts < 1:
+        raise ValueError("RetryPolicy.attempts must be >= 1")
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            if policy.timeout is not None:
+                return _call_with_timeout(fn, args, kwargs, policy.timeout)
+            return fn(*args, **kwargs)
+        except (SimulationTimeout, Exception) as exc:  # noqa: B014
+            last_error = exc
+            if attempt < policy.attempts:
+                sleep(policy.backoff(attempt))
+    raise SimulationFailed(
+        f"{getattr(fn, '__name__', fn)!s} failed after "
+        f"{policy.attempts} attempt(s): {last_error}"
+    ) from last_error
+
+
+def make_resilient_executor(
+    policy: RetryPolicy,
+    base: Callable = run_workload,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Callable:
+    """A ``run_workload``-shaped callable wrapped in timeout + retry."""
+
+    def executor(workload, config, params=None, **kwargs):
+        return run_with_retry(
+            base, workload, config, params, policy=policy, sleep=sleep, **kwargs
+        )
+
+    return executor
+
+
+def install_retry_executor(
+    policy: RetryPolicy, base: Callable = run_workload
+) -> None:
+    """Route every uncached `cached_run` through timeout + retry."""
+    runner_mod.set_run_executor(make_resilient_executor(policy, base))
+
+
+# ---------------------------------------------------------------------------
+# checkpoint/resume campaign
+
+
+class Campaign:
+    """Run named steps in order, checkpointing completion after each.
+
+    ``steps`` is a sequence of ``(name, thunk)`` pairs.  A checkpoint file
+    records the names already completed (under a context string, so a
+    campaign at different parameters does not reuse stale completions);
+    re-running skips them.  Checkpoint writes are atomic, and a corrupt or
+    foreign checkpoint file is quarantined rather than trusted.
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[Tuple[str, Callable[[], object]]],
+        *,
+        checkpoint_path: Path = DEFAULT_CHECKPOINT,
+        context: str = "",
+        resume: bool = True,
+    ) -> None:
+        self.steps = list(steps)
+        self.checkpoint_path = Path(checkpoint_path)
+        self.context = context
+        self.resume = resume
+        self.completed: List[str] = []
+        self.skipped: List[str] = []
+
+    # -- checkpoint persistence ---------------------------------------------
+
+    def _load_checkpoint(self) -> List[str]:
+        if not self.resume or not self.checkpoint_path.exists():
+            return []
+        try:
+            data = json.loads(self.checkpoint_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            self._quarantine_checkpoint()
+            return []
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CHECKPOINT_VERSION
+            or data.get("context") != self.context
+            or not isinstance(data.get("completed"), list)
+        ):
+            # Different campaign (or drifted schema): start clean.
+            return []
+        return [str(name) for name in data["completed"]]
+
+    def _quarantine_checkpoint(self) -> None:
+        try:
+            os.replace(
+                self.checkpoint_path,
+                self.checkpoint_path.with_suffix(".corrupt.json"),
+            )
+        except OSError:
+            pass
+
+    def _save_checkpoint(self, completed: List[str]) -> None:
+        payload = json.dumps(
+            {
+                "version": CHECKPOINT_VERSION,
+                "context": self.context,
+                "completed": completed,
+            }
+        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=self.checkpoint_path.name + ".",
+                suffix=".tmp",
+                dir=self.checkpoint_path.parent or Path("."),
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.checkpoint_path)
+        except OSError:
+            pass
+
+    def clear_checkpoint(self) -> None:
+        """Forget recorded progress (a finished campaign cleans up)."""
+        try:
+            self.checkpoint_path.unlink()
+        except OSError:
+            pass
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        on_step: Optional[Callable[[str, object], None]] = None,
+    ) -> Dict[str, object]:
+        """Execute pending steps; returns ``{name: step result}``.
+
+        Completed steps from a previous (killed) run are skipped.  A step
+        that raises stops the campaign with its progress checkpointed, so
+        the next invocation resumes right there.
+        """
+        done = self._load_checkpoint()
+        results: Dict[str, object] = {}
+        self.completed = list(done)
+        self.skipped = [name for name, _ in self.steps if name in done]
+        for name, thunk in self.steps:
+            if name in done:
+                continue
+            outcome = thunk()
+            results[name] = outcome
+            if on_step is not None:
+                on_step(name, outcome)
+            self.completed.append(name)
+            self._save_checkpoint(self.completed)
+        if len(self.completed) == len(self.steps):
+            self.clear_checkpoint()
+        return results

@@ -5,10 +5,16 @@ Usage::
     python -m repro.harness.cli list
     python -m repro.harness.cli fig10
     python -m repro.harness.cli table4 --accesses 8000
-    python -m repro.harness.cli all
+    python -m repro.harness.cli faults --fault-rate 3e13 --ecc secded
+    python -m repro.harness.cli all --timeout 900 --retries 2
 
 Results are cached on disk, so regenerating a second figure that shares
-configurations with the first is nearly instant.
+configurations with the first is nearly instant.  ``all`` checkpoints its
+progress: a killed campaign resumes from the last completed experiment
+(pass ``--no-resume`` to start over).
+
+Exit codes: 0 success, 2 usage error (unknown experiment/flag), 3 a
+simulation failed after all retries.
 """
 
 from __future__ import annotations
@@ -18,8 +24,20 @@ import sys
 from typing import Callable, Dict, Tuple
 
 from repro.harness import experiments
+from repro.harness.campaign import (
+    Campaign,
+    RetryPolicy,
+    SimulationFailed,
+    SimulationTimeout,
+    install_retry_executor,
+)
 from repro.harness.report import format_table
+from repro.resilience.ecc import SCHEMES
 from repro.sim.engine import SimulationParams
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_SIM_FAILURE = 3
 
 EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "fig1": ("Fig 1(f): potential from doubling cache resources", experiments.fig01_potential),
@@ -37,6 +55,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "table7": ("Table 7: prefetch comparison", experiments.table7_prefetch),
     "table8": ("Table 8: design-point sensitivity", experiments.table8_sensitivity),
     "cip": ("Sec 5.3: CIP accuracy", experiments.sec53_cip_accuracy),
+    "faults": ("Extension: resilience under injected DRAM faults", experiments.ext_faults),
 }
 
 
@@ -69,26 +88,97 @@ def main(argv=None) -> int:
         help="L3 accesses per core (default: REPRO_ACCESSES or 6000)",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="injected DRAM faults per GB-hour (0 disables injection; "
+        "the `faults` experiment sweeps its own rates on top of this)",
+    )
+    parser.add_argument(
+        "--ecc",
+        choices=SCHEMES,
+        default="secded",
+        help="ECC model applied to injected faults (default: secded)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per simulation attempt",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries (with exponential backoff) per failed simulation",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore a previous `all` campaign checkpoint and start over",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for key, (title, _fn) in EXPERIMENTS.items():
             print(f"  {key:8s} {title}")
-        return 0
+        return EXIT_OK
 
     from repro.harness.runner import DEFAULT_ACCESSES
 
     params = SimulationParams(
-        accesses_per_core=args.accesses or DEFAULT_ACCESSES, seed=args.seed
+        accesses_per_core=args.accesses or DEFAULT_ACCESSES,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        ecc=args.ecc,
     )
-    keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for key in keys:
-        if key not in EXPERIMENTS:
-            parser.error(
-                f"unknown experiment {key!r}; try `list`"
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.timeout is not None or args.retries:
+        install_retry_executor(
+            RetryPolicy(attempts=args.retries + 1, timeout=args.timeout)
+        )
+
+    if args.experiment == "all":
+        # A campaign context ties the checkpoint to these parameters, so a
+        # resume never skips work that was done at different settings.
+        context = (
+            f"accesses={params.accesses_per_core} seed={params.seed} "
+            f"fault_rate={params.fault_rate} ecc={params.ecc}"
+        )
+        campaign = Campaign(
+            [(key, lambda k=key: run_one(k, params)) for key in EXPERIMENTS],
+            context=context,
+            resume=not args.no_resume,
+        )
+        try:
+            campaign.run()
+        except (SimulationFailed, SimulationTimeout) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                f"campaign stopped after {len(campaign.completed)} of "
+                f"{len(campaign.steps)} experiments; re-run to resume",
+                file=sys.stderr,
             )
-        run_one(key, params)
-    return 0
+            return EXIT_SIM_FAILURE
+        if campaign.skipped:
+            print(
+                f"(resumed: skipped {len(campaign.skipped)} already-completed "
+                f"experiment(s): {', '.join(campaign.skipped)})"
+            )
+        return EXIT_OK
+
+    if args.experiment not in EXPERIMENTS:
+        parser.error(f"unknown experiment {args.experiment!r}; try `list`")
+    try:
+        run_one(args.experiment, params)
+    except (SimulationFailed, SimulationTimeout) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SIM_FAILURE
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ producing the same rows/series the paper reports.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compression.hybrid import HybridCompressor
@@ -298,6 +299,67 @@ def table8_sensitivity(params: Optional[SimulationParams] = None):
     for label, values in per_label.items():
         for group, mean in group_geomeans(values, GROUPS).items():
             summary[f"{label}/{group}"] = mean
+    return headers, rows, summary
+
+
+# -- Extension: fault injection and ECC-aware degradation -----------------------------
+
+FAULT_RATES: Tuple[float, ...] = (0.0, 3e12, 3e13)
+"""Injected-fault rates in faults per GB-hour.  Real DRAM FIT rates are
+invisible over a microsecond simulation window, so the sweep uses
+accelerated rates (see DESIGN.md, Fault model & resilience)."""
+
+FAULT_WORKLOADS: Tuple[str, ...] = ("mcf", "gcc", "bc_twi")
+"""One incompressible SPEC, one compressible SPEC, one GAP workload."""
+
+FAULT_CONFIGS: Tuple[str, ...] = ("tsi", "bai", "dice")
+
+
+def ext_faults(params: Optional[SimulationParams] = None):
+    """Extension: speedup retention and ECC accounting under injected faults.
+
+    Sweeps fault rate x {tsi, bai, dice}.  DICE pair-compresses two lines
+    into one frame, so a fault there has twice the blast radius — the
+    question is whether SECDED plus invalidate-and-refetch keeps the
+    performance win intact anyway.
+    """
+    params = params or SimulationParams()
+    headers = [
+        "workload", "config", "rate", "speedup",
+        "faults", "corrected", "refetch", "silent",
+    ]
+    rows: Rows = []
+    retained: Dict[str, List[float]] = {c: [] for c in FAULT_CONFIGS}
+    counters = {c: [0, 0, 0, 0] for c in FAULT_CONFIGS}
+    for wl in FAULT_WORKLOADS:
+        base = cached_run(wl, "base", params=params)
+        for cfg in FAULT_CONFIGS:
+            clean = None
+            for rate in FAULT_RATES:
+                p = dataclasses.replace(params, fault_rate=rate)
+                r = cached_run(wl, cfg, params=p)
+                s = r.weighted_speedup_over(base)
+                if rate == 0.0:
+                    clean = s
+                rows.append([
+                    wl, cfg, f"{rate:g}", s,
+                    r.faults_injected, r.ecc_corrected,
+                    r.ecc_detected_refetches, r.silent_corruptions,
+                ])
+                if rate == FAULT_RATES[-1]:
+                    retained[cfg].append(s / clean)
+                    totals = counters[cfg]
+                    totals[0] += r.faults_injected
+                    totals[1] += r.ecc_corrected
+                    totals[2] += r.ecc_detected_refetches
+                    totals[3] += r.silent_corruptions
+    summary: Summary = {}
+    for cfg in FAULT_CONFIGS:
+        summary[f"{cfg}/retained@maxrate"] = geomean(retained[cfg])
+        summary[f"{cfg}/faults"] = float(counters[cfg][0])
+        summary[f"{cfg}/ecc_corrected"] = float(counters[cfg][1])
+        summary[f"{cfg}/ecc_refetches"] = float(counters[cfg][2])
+        summary[f"{cfg}/silent"] = float(counters[cfg][3])
     return headers, rows, summary
 
 

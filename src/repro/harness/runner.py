@@ -9,8 +9,10 @@ simulation campaigns.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
@@ -24,7 +26,7 @@ DEFAULT_SCALE = int(os.environ.get("REPRO_SCALE", 4096))
 DEFAULT_ACCESSES = int(os.environ.get("REPRO_ACCESSES", 6000))
 """L3 accesses simulated per core (raise for higher-fidelity runs)."""
 
-_CACHE_VERSION = 6  # bump when simulator behaviour changes
+_CACHE_VERSION = 7  # bump when simulator behaviour or result schema changes
 _DISK_CACHE = os.environ.get("REPRO_DISK_CACHE", "1") != "0"
 _CACHE_PATH = Path(
     os.environ.get("REPRO_CACHE_PATH", Path(__file__).resolve().parents[3] / ".sim_cache.json")
@@ -135,9 +137,20 @@ _memory_cache: Dict[Tuple, SimResult] = {}
 _disk_loaded = False
 _disk_store: Dict[str, dict] = {}
 
+# The executor actually invoked for uncached simulations.  The campaign
+# layer (repro.harness.campaign) swaps in a timeout/retry wrapper; tests
+# inject flaky stand-ins.  Signature matches `run_workload`.
+_run_executor: Callable[..., SimResult] = run_workload
+
+
+def set_run_executor(executor: Optional[Callable[..., SimResult]]) -> None:
+    """Install the callable used for uncached runs (None restores default)."""
+    global _run_executor
+    _run_executor = executor if executor is not None else run_workload
+
 
 def _key(workload: str, config_name: str, scale: int, params: SimulationParams) -> Tuple:
-    return (
+    key = [
         _CACHE_VERSION,
         workload,
         config_name,
@@ -145,7 +158,47 @@ def _key(workload: str, config_name: str, scale: int, params: SimulationParams) 
         params.accesses_per_core,
         params.warmup_fraction,
         params.seed,
-    )
+    ]
+    # Fault-free runs keep their historical keys; fault-injected runs get
+    # distinct entries per (rate, ecc) point.
+    if params.fault_rate:
+        key += [params.fault_rate, params.ecc]
+    return tuple(key)
+
+
+class CacheEntryError(ValueError):
+    """A disk-cache entry does not match the current SimResult schema."""
+
+
+def _quarantine_path() -> Path:
+    return _CACHE_PATH.with_suffix(".corrupt.json")
+
+
+def _quarantine_file() -> None:
+    """Move an unreadable cache file aside instead of silently ignoring it."""
+    try:
+        os.replace(_CACHE_PATH, _quarantine_path())
+    except OSError:
+        pass
+
+
+def _quarantine_entry(disk_key: str, entry: object) -> None:
+    """Append one schema-drifted entry to the quarantine file and drop it."""
+    _disk_store.pop(disk_key, None)
+    path = _quarantine_path()
+    try:
+        quarantined = {}
+        if path.exists():
+            try:
+                quarantined = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                quarantined = {}
+        if not isinstance(quarantined, dict):
+            quarantined = {}
+        quarantined[disk_key] = entry
+        path.write_text(json.dumps(quarantined))
+    except (OSError, TypeError):
+        pass
 
 
 def _load_disk() -> None:
@@ -156,32 +209,80 @@ def _load_disk() -> None:
     _disk_loaded = True
     if _CACHE_PATH.exists():
         try:
-            _disk_store.update(json.loads(_CACHE_PATH.read_text()))
-        except (json.JSONDecodeError, OSError):
-            pass
+            loaded = json.loads(_CACHE_PATH.read_text())
+        except json.JSONDecodeError:
+            # Truncated or garbled file (crashed writer, disk hiccup):
+            # quarantine it so the evidence survives, then start fresh.
+            _quarantine_file()
+            return
+        except OSError:
+            return
+        if isinstance(loaded, dict):
+            _disk_store.update(loaded)
+        else:
+            _quarantine_file()
 
 
 def _save_disk() -> None:
+    """Atomically persist the store: temp file + fsync + rename.
+
+    A crashed or concurrent run can therefore never leave a truncated
+    `.sim_cache.json` behind — readers see either the old complete file or
+    the new complete file.
+    """
     if not _DISK_CACHE:
         return
     try:
-        _CACHE_PATH.write_text(json.dumps(_disk_store))
+        payload = json.dumps(_disk_store)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=_CACHE_PATH.name + ".", suffix=".tmp", dir=_CACHE_PATH.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, _CACHE_PATH)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
     except OSError:
         pass
 
 
 def _result_to_dict(result: SimResult) -> dict:
-    from dataclasses import asdict
-
-    d = asdict(result)
-    return d
+    return dataclasses.asdict(result)
 
 
-def _result_from_dict(d: dict) -> SimResult:
+_RESULT_FIELDS = {f.name for f in dataclasses.fields(SimResult)}
+_REQUIRED_FIELDS = {
+    f.name
+    for f in dataclasses.fields(SimResult)
+    if f.default is dataclasses.MISSING
+    and f.default_factory is dataclasses.MISSING
+}
+
+
+def _result_from_dict(d: object) -> SimResult:
+    """Rebuild a SimResult, rejecting (not crashing on) schema drift."""
+    if not isinstance(d, dict):
+        raise CacheEntryError(f"cache entry is {type(d).__name__}, not dict")
+    unknown = set(d) - _RESULT_FIELDS
+    if unknown:
+        raise CacheEntryError(f"unknown SimResult fields {sorted(unknown)}")
+    missing = _REQUIRED_FIELDS - set(d)
+    if missing:
+        raise CacheEntryError(f"missing SimResult fields {sorted(missing)}")
     d = dict(d)
     if d.get("index_distribution") is not None:
         d["index_distribution"] = tuple(d["index_distribution"])
-    return SimResult(**d)
+    try:
+        return SimResult(**d)
+    except TypeError as exc:
+        raise CacheEntryError(str(exc)) from exc
 
 
 def cached_run(
@@ -200,11 +301,17 @@ def cached_run(
     _load_disk()
     disk_key = json.dumps(key)
     if disk_key in _disk_store:
-        result = _result_from_dict(_disk_store[disk_key])
-        _memory_cache[key] = result
-        return result
+        try:
+            result = _result_from_dict(_disk_store[disk_key])
+        except CacheEntryError:
+            # Stale or corrupt entry: quarantine it and re-simulate rather
+            # than crashing mid-benchmark.
+            _quarantine_entry(disk_key, _disk_store.get(disk_key))
+        else:
+            _memory_cache[key] = result
+            return result
     config = resolve_config(config_name, scale)
-    result = run_workload(workload, config, params)
+    result = _run_executor(workload, config, params)
     _memory_cache[key] = result
     _disk_store[disk_key] = _result_to_dict(result)
     _save_disk()

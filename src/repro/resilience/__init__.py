@@ -1,0 +1,43 @@
+"""Fault injection, ECC modeling, and graceful degradation for the L4.
+
+The resilience layer answers a question the paper could not: does
+compression amplify the blast radius of a DRAM bit error (one flipped
+frame now corrupts *two* co-located compressed lines), and does DICE
+degrade gracefully when it does?  See DESIGN.md, "Fault model &
+resilience".
+"""
+
+from repro.resilience.ecc import (
+    CLEAN,
+    CORRECTED,
+    DETECTED,
+    SCHEMES,
+    SILENT,
+    classify,
+)
+from repro.resilience.faults import (
+    CPU_CLOCK_HZ,
+    STUCK,
+    TRANSIENT,
+    Fault,
+    FaultModel,
+    FaultTimeline,
+)
+from repro.resilience.injector import FaultInjector, ResilienceStats
+
+__all__ = [
+    "CLEAN",
+    "CORRECTED",
+    "DETECTED",
+    "SILENT",
+    "SCHEMES",
+    "classify",
+    "CPU_CLOCK_HZ",
+    "TRANSIENT",
+    "STUCK",
+    "Fault",
+    "FaultModel",
+    "FaultTimeline",
+    "FaultInjector",
+    "ResilienceStats",
+]

@@ -1,0 +1,39 @@
+"""SECDED ECC model over 64 B cache lines.
+
+The DRAM cache stores 72 B TADs; a KNL-style organization spends the ECC
+lanes on tags, but the resilience layer models the conventional alternative:
+SECDED (single-error-correct, double-error-detect) protecting each line.
+The model is outcome-level — it classifies the *number* of bit errors a
+read observed rather than simulating syndrome decoding:
+
+* 1 flipped bit   -> corrected transparently (counted, data intact);
+* 2 flipped bits  -> detected but uncorrectable: the line must be dropped
+  and refetched from DDR (graceful degradation, charged real latency);
+* 3+ flipped bits -> aliases to a valid-or-correctable codeword with high
+  probability, i.e. a *silent* miscorrection: poisoned data propagates;
+* ``scheme="none"`` -> every fault propagates silently.
+"""
+
+from __future__ import annotations
+
+CLEAN = "clean"
+CORRECTED = "corrected"
+DETECTED = "detected"
+SILENT = "silent"
+
+SCHEMES = ("none", "secded")
+
+
+def classify(bit_errors: int, scheme: str = "secded") -> str:
+    """ECC verdict for a line read with ``bit_errors`` flipped bits."""
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown ECC scheme {scheme!r}; known: {SCHEMES}")
+    if bit_errors <= 0:
+        return CLEAN
+    if scheme == "none":
+        return SILENT
+    if bit_errors == 1:
+        return CORRECTED
+    if bit_errors == 2:
+        return DETECTED
+    return SILENT

@@ -1,0 +1,117 @@
+"""DRAM fault model: rates, event records, and a seeded fault timeline.
+
+Faults arrive as a Poisson process whose intensity is expressed the way
+field studies report it — events per gigabyte-hour of device exposure —
+and scaled to simulated CPU cycles through the device capacity and the
+paper's 3.2 GHz clock (Table 2).  Simulated windows are microseconds long,
+so experiments use *accelerated* rates (the software analogue of beam
+testing); the conversion keeps the knob physically meaningful.
+
+Two fault kinds are modeled:
+
+* **transient** — a one-shot upset (particle strike, read disturb) that
+  corrupts the victim line(s) of exactly one read;
+* **stuck-at** — a permanent cell failure at a physical frame: every later
+  read mapping to that frame re-experiences the same flipped bits.
+
+All draws come from one seeded :class:`random.Random`, so a given
+``(seed, read sequence)`` reproduces the exact same fault sites — the
+property the resilience tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+CPU_CLOCK_HZ = 3.2e9
+"""Core clock of the paper machine; converts simulated cycles to seconds."""
+
+SECONDS_PER_HOUR = 3600.0
+
+TRANSIENT = "transient"
+STUCK = "stuck"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Statistical description of the injected fault population.
+
+    ``rate_per_gb_hour`` is the event rate per gigabyte-hour of simulated
+    device time.  ``stuck_fraction`` of events leave a permanent stuck-at
+    site behind; the rest are transient.  ``bit_weights`` gives the
+    probability of an event flipping 1, 2, or 3 bits (single-bit upsets
+    dominate in the field; multi-bit upsets exercise the detected and
+    silent ECC paths).
+    """
+
+    rate_per_gb_hour: float
+    stuck_fraction: float = 0.1
+    bit_weights: Tuple[float, float, float] = (0.80, 0.12, 0.08)
+
+    def events_per_cycle(self, capacity_bytes: int) -> float:
+        """Poisson intensity in events per simulated CPU cycle."""
+        gigabytes = capacity_bytes / float(1 << 30)
+        return (
+            self.rate_per_gb_hour
+            * gigabytes
+            / SECONDS_PER_HOUR
+            / CPU_CLOCK_HZ
+        )
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One materialized fault event, pinned to a physical frame."""
+
+    set_index: int
+    bits: int  # distinct bit flips this event contributes
+    kind: str  # TRANSIENT or STUCK
+    cycle: int  # cycle of the read that experienced the event
+
+
+class FaultTimeline:
+    """Seeded Poisson arrival process over simulated cycles.
+
+    ``events_until(cycle)`` pops the number of events whose arrival time is
+    at or before ``cycle``; arrivals are drawn once and consumed in order,
+    so replaying the same read sequence replays the same events.
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        capacity_bytes: int,
+        rng: random.Random,
+    ) -> None:
+        self._model = model
+        self._rng = rng
+        self._rate = model.events_per_cycle(capacity_bytes)
+        self._next: Optional[float] = self._draw_gap(0.0)
+
+    def _draw_gap(self, after: float) -> Optional[float]:
+        if self._rate <= 0.0:
+            return None
+        return after + self._rng.expovariate(self._rate)
+
+    def events_until(self, cycle: int) -> int:
+        """Number of arrivals with timestamp <= ``cycle`` not yet consumed."""
+        count = 0
+        while self._next is not None and self._next <= cycle:
+            count += 1
+            self._next = self._draw_gap(self._next)
+        return count
+
+    def draw_bits(self) -> int:
+        """Bit multiplicity of one event, per ``bit_weights``."""
+        w1, w2, _w3 = self._model.bit_weights
+        u = self._rng.random()
+        if u < w1:
+            return 1
+        if u < w1 + w2:
+            return 2
+        return 3
+
+    def draw_is_stuck(self) -> bool:
+        return self._rng.random() < self._model.stuck_fraction

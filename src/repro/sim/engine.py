@@ -32,6 +32,10 @@ class SimulationParams:
     warmup_fraction: float = 0.35
     seed: int = 7
     capacity_sample_every: int = 512  # accesses between capacity samples
+    # resilience knobs (fault_rate == 0.0 leaves the fault-free fast path
+    # untouched: no injector is built and results are bit-identical)
+    fault_rate: float = 0.0  # injected faults per GB-hour of simulated time
+    ecc: str = "secded"  # "secded" | "none" (see repro.resilience.ecc)
 
 
 def _build_generators(
@@ -59,6 +63,20 @@ def _build_generators(
     ]
 
 
+def _build_injector(config: SystemConfig, params: SimulationParams):
+    """FaultInjector for this run, or None when injection is disabled."""
+    if params.fault_rate <= 0.0:
+        return None
+    from repro.resilience import FaultInjector, FaultModel
+
+    return FaultInjector(
+        FaultModel(rate_per_gb_hour=params.fault_rate),
+        capacity_bytes=config.l4.capacity_bytes,
+        ecc=params.ecc,
+        seed=params.seed,
+    )
+
+
 class _DataRouter:
     """Routes line addresses to the owning core's data factory."""
 
@@ -81,7 +99,9 @@ def run_workload(
     """Simulate one workload on one machine configuration."""
     params = params or SimulationParams()
     generators = _build_generators(workload, config, params)
-    system = MemorySystem(config, _DataRouter(generators))
+    system = MemorySystem(
+        config, _DataRouter(generators), fault_injector=_build_injector(config, params)
+    )
 
     num_cores = config.core.num_cores
     ipc = config.core.base_ipc
@@ -199,6 +219,12 @@ def run_workload(
         result.cip_write_accuracy = l4.write_prediction_accuracy
     if hasattr(l4, "index_distribution"):
         result.index_distribution = l4.index_distribution()
+    if system.fault_injector is not None:
+        stats = system.fault_injector.stats
+        result.faults_injected = stats.faults_injected
+        result.ecc_corrected = stats.ecc_corrected
+        result.ecc_detected_refetches = stats.ecc_detected_refetches
+        result.silent_corruptions = stats.silent_corruptions
     return result
 
 

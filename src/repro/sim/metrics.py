@@ -33,6 +33,12 @@ class SimResult:
     index_distribution: Optional[tuple] = None  # (invariant, tsi, bai)
     l3_bonus_installs: int = 0
     l3_bonus_hits: int = 0
+    # resilience counters (all zero on fault-free runs; whole-run totals,
+    # since fault exposure accrues across warmup too)
+    faults_injected: int = 0
+    ecc_corrected: int = 0
+    ecc_detected_refetches: int = 0
+    silent_corruptions: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property

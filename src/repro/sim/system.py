@@ -9,7 +9,7 @@ demand, which is how a real controller overlaps it.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.cache.hierarchy import OnChipHierarchy
 from repro.config import SystemConfig
@@ -17,9 +17,11 @@ from repro.core.compressed_cache import CompressedDRAMCache
 from repro.core.dice import DICECache
 from repro.core.knl import KNLDICECache
 from repro.dram.mainmemory import MainMemory
-from repro.dramcache.alloy import AlloyCache
+from repro.dramcache.alloy import AlloyCache, L4ReadResult
 from repro.dramcache.mapi import MAPIPredictor
 from repro.dramcache.scc import SCCDRAMCache
+from repro.resilience.ecc import CORRECTED, DETECTED
+from repro.resilience.injector import FaultInjector
 from repro.sim.prefetch import prefetch_target
 from repro.sim.stats import BandwidthTracker, LatencyHistogram
 from repro.workloads.base import Access
@@ -56,13 +58,17 @@ class MemorySystem:
     """Shared memory system below the cores' private caches."""
 
     def __init__(
-        self, config: SystemConfig, data_generator: DataGenerator
+        self,
+        config: SystemConfig,
+        data_generator: DataGenerator,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.hierarchy = OnChipHierarchy(config.l3)
         self.l4 = build_l4(config)
         self.memory = MainMemory(config.memory, data_generator)
         self.mapi = MAPIPredictor()
+        self.fault_injector = fault_injector
         self.demand_reads = 0
         self.prefetch_issued = 0
         self.wasted_parallel_probes = 0
@@ -124,6 +130,10 @@ class MemorySystem:
 
         result = self.l4.read(line, t, access.pc)
         self.l4_bandwidth.record(t, result.accesses * 80)
+        if self.fault_injector is not None and result.hit:
+            # Narrow resilience hook: on fault-free runs the injector is
+            # None and this branch costs one attribute check per read.
+            result = self._filter_faulty_read(line, result, t)
         if result.hit:
             self.mapi.update(access.pc, was_miss=False)
             if predicted_miss:
@@ -146,6 +156,73 @@ class MemorySystem:
 
         self._maybe_prefetch(line, finish)
         return finish
+
+    # -- resilience ------------------------------------------------------------------
+
+    def _filter_faulty_read(
+        self, line: int, result: L4ReadResult, now: int
+    ) -> L4ReadResult:
+        """Apply injected faults + the ECC verdict to one L4 read hit.
+
+        * corrected — single-bit error fixed by SECDED; data passes clean;
+        * detected — uncorrectable: the poisoned frame is invalidated (both
+          lines, if pair-compressed) and the demand falls through to the
+          ordinary miss path, refetching from DDR at its real cost;
+        * silent — multi-bit miscorrection (or no ECC): poisoned data is
+          written back into the frame and propagates to the L3.
+        """
+        injector = self.fault_injector
+        set_index = (
+            result.set_index
+            if result.set_index is not None
+            else line % self.l4.num_sets
+        )
+        bit_errors = injector.bit_errors_for_read(set_index, now)
+        if bit_errors == 0:
+            return result
+
+        # A fault strikes the physical frame.  If the demand line is
+        # pair-compressed there, its buddy shares the tag and bases, so the
+        # blast radius covers both lines (the DICE-specific hazard).
+        pair_buddy = getattr(self.l4, "pair_buddy", None)
+        buddy = pair_buddy(line) if pair_buddy is not None else None
+        affected = 2 if buddy is not None else 1
+        stats = injector.stats
+        stats.lines_corrupted += affected
+        if buddy is not None:
+            stats.pair_blast_events += 1
+
+        verdict = injector.verdict(bit_errors)
+        if verdict == CORRECTED:
+            stats.ecc_corrected += affected
+            return result
+        if verdict == DETECTED:
+            self.l4.invalidate(line)
+            if buddy is not None:
+                self.l4.invalidate(buddy)
+            stats.ecc_detected_invalidations += affected
+            stats.ecc_detected_refetches += 1
+            # Miss-shaped result: the caller's miss path charges the DDR
+            # refetch and reinstalls the line — graceful degradation.
+            return L4ReadResult(
+                hit=False,
+                data=None,
+                finish_cycle=result.finish_cycle,
+                accesses=result.accesses,
+            )
+        # silent
+        stats.silent_corruptions += affected
+        poison = lambda data: injector.corrupt(data, bit_errors)  # noqa: E731
+        corrupted = self.l4.corrupt_stored(line, poison)
+        result.data = corrupted if corrupted is not None else poison(result.data)
+        if buddy is not None:
+            corrupted_buddy = self.l4.corrupt_stored(buddy, poison)
+            if corrupted_buddy is not None and result.extra_lines:
+                result.extra_lines = [
+                    (addr, corrupted_buddy if addr == buddy else data)
+                    for addr, data in result.extra_lines
+                ]
+        return result
 
     # -- fills, writebacks, prefetch ------------------------------------------------
 

@@ -1,0 +1,166 @@
+"""Tests for disk-cache crash safety: atomic writes, quarantine, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.harness.runner import (
+    CacheEntryError,
+    _result_from_dict,
+    cached_run,
+    set_run_executor,
+)
+from repro.sim.engine import SimulationParams, run_workload
+
+PARAMS = SimulationParams(accesses_per_core=120, seed=9)
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Route the disk cache into a temp dir and reset all module state."""
+    cache_path = tmp_path / ".sim_cache.json"
+    monkeypatch.setattr(runner_mod, "_CACHE_PATH", cache_path)
+    monkeypatch.setattr(runner_mod, "_DISK_CACHE", True)
+    monkeypatch.setattr(runner_mod, "_disk_loaded", False)
+    monkeypatch.setattr(runner_mod, "_disk_store", {})
+    runner_mod._memory_cache.clear()
+    yield cache_path
+    runner_mod._memory_cache.clear()
+    set_run_executor(None)
+
+
+def _counting_executor(counter):
+    def executor(workload, config, params=None, **kwargs):
+        counter.append(1)
+        return run_workload(workload, config, params, **kwargs)
+
+    return executor
+
+
+class TestAtomicSave:
+    def test_saved_cache_is_complete_json(self, isolated_cache):
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        data = json.loads(isolated_cache.read_text())
+        assert isinstance(data, dict) and len(data) == 1
+
+    def test_no_temp_files_left_behind(self, isolated_cache):
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        leftovers = list(isolated_cache.parent.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_second_process_reads_back(self, isolated_cache, monkeypatch):
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert counter == [1]
+        # simulate a fresh process: drop in-memory state, keep the file
+        runner_mod._memory_cache.clear()
+        monkeypatch.setattr(runner_mod, "_disk_loaded", False)
+        monkeypatch.setattr(runner_mod, "_disk_store", {})
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert counter == [1]  # served from disk, not re-simulated
+
+
+class TestCorruptFileRecovery:
+    def test_truncated_file_is_quarantined(self, isolated_cache):
+        isolated_cache.write_text('{"half-written entry": ')
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert result.workload == "sphinx"
+        assert counter == [1]  # fell back to simulating
+        quarantine = isolated_cache.parent / ".sim_cache.corrupt.json"
+        assert quarantine.exists()  # the evidence survives
+
+    def test_non_dict_payload_is_quarantined(self, isolated_cache):
+        isolated_cache.write_text(json.dumps(["not", "a", "dict"]))
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert counter == [1]
+        assert (isolated_cache.parent / ".sim_cache.corrupt.json").exists()
+
+    def test_recovered_cache_works_after_quarantine(self, isolated_cache):
+        isolated_cache.write_text("garbage")
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        # the rewritten cache must be healthy again
+        assert isinstance(json.loads(isolated_cache.read_text()), dict)
+
+    def test_concurrent_writers_never_corrupt_the_file(self, isolated_cache):
+        # Two "processes" interleave saves of different stores.  os.replace
+        # makes each write all-or-nothing: whoever lands last wins, but the
+        # file is complete JSON at every point in between.
+        for i in range(5):
+            runner_mod._disk_store.clear()
+            runner_mod._disk_store[f"writer-a-{i}"] = {"workload": "a"}
+            runner_mod._save_disk()
+            assert json.loads(isolated_cache.read_text())
+            runner_mod._disk_store.clear()
+            runner_mod._disk_store[f"writer-b-{i}"] = {"workload": "b"}
+            runner_mod._save_disk()
+            data = json.loads(isolated_cache.read_text())
+            assert list(data) == [f"writer-b-{i}"]
+
+
+class TestSchemaDrift:
+    def _store_bad_entry(self, entry):
+        key = runner_mod._key("sphinx", "base", 65536, PARAMS)
+        disk_key = json.dumps(key)
+        runner_mod._disk_store[disk_key] = entry
+        runner_mod._disk_loaded = True
+        return disk_key
+
+    def test_unknown_field_raises_cache_entry_error(self):
+        with pytest.raises(CacheEntryError):
+            _result_from_dict({"workload": "x", "from_the_future": 1})
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(CacheEntryError):
+            _result_from_dict({"workload": "x"})
+
+    def test_non_dict_entry_raises(self):
+        with pytest.raises(CacheEntryError):
+            _result_from_dict([1, 2, 3])
+
+    def test_drifted_entry_quarantined_and_resimulated(self, isolated_cache):
+        bad = {"workload": "sphinx", "field_from_old_version": 42}
+        disk_key = self._store_bad_entry(bad)
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert result.workload == "sphinx"
+        assert counter == [1]  # drifted entry was NOT trusted
+        quarantined = json.loads(
+            (isolated_cache.parent / ".sim_cache.corrupt.json").read_text()
+        )
+        assert quarantined[disk_key] == bad  # preserved for inspection
+        # and the store no longer carries the bad entry
+        assert disk_key not in runner_mod._disk_store or (
+            runner_mod._disk_store[disk_key] != bad
+        )
+
+    def test_roundtrip_still_works(self, isolated_cache):
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        restored = _result_from_dict(runner_mod._result_to_dict(result))
+        assert restored == result
+
+
+class TestFaultAwareKeys:
+    def test_fault_free_key_has_no_resilience_suffix(self):
+        key = runner_mod._key("w", "c", 1, SimulationParams())
+        faulty = runner_mod._key(
+            "w", "c", 1, SimulationParams(fault_rate=3e13)
+        )
+        assert len(faulty) == len(key) + 2
+        assert key == faulty[: len(key)]
+
+    def test_distinct_rates_get_distinct_keys(self):
+        a = runner_mod._key("w", "c", 1, SimulationParams(fault_rate=3e12))
+        b = runner_mod._key("w", "c", 1, SimulationParams(fault_rate=3e13))
+        c = runner_mod._key(
+            "w", "c", 1, SimulationParams(fault_rate=3e13, ecc="none")
+        )
+        assert len({a, b, c}) == 3

@@ -1,0 +1,199 @@
+"""Tests for the crash-safe campaign layer: retry, timeout, checkpointing."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.harness.campaign import (
+    Campaign,
+    RetryPolicy,
+    SimulationFailed,
+    SimulationTimeout,
+    make_resilient_executor,
+    run_with_retry,
+)
+from repro.harness.runner import cached_run, clear_cache, set_run_executor
+from repro.sim.engine import SimulationParams, run_workload
+
+
+@pytest.fixture(autouse=True)
+def default_executor():
+    yield
+    set_run_executor(None)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(backoff_base=0.5, backoff_factor=2.0, max_backoff=30.0)
+        assert p.backoff(1) == 0.5
+        assert p.backoff(2) == 1.0
+        assert p.backoff(3) == 2.0
+
+    def test_backoff_is_capped(self):
+        p = RetryPolicy(backoff_base=10.0, backoff_factor=10.0, max_backoff=25.0)
+        assert p.backoff(3) == 25.0
+
+
+class TestRunWithRetry:
+    def test_flaky_function_eventually_succeeds(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError(f"boom {len(calls)}")
+            return "ok"
+
+        result = run_with_retry(
+            flaky, policy=RetryPolicy(attempts=3), sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert sleeps == [0.5, 1.0]  # exponential backoff between attempts
+
+    def test_exhausted_retries_raise_with_cause(self):
+        def always_fails():
+            raise RuntimeError("persistent")
+
+        with pytest.raises(SimulationFailed) as exc_info:
+            run_with_retry(
+                always_fails,
+                policy=RetryPolicy(attempts=2),
+                sleep=lambda _s: None,
+            )
+        assert "persistent" in str(exc_info.value)
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
+
+    def test_timeout_interrupts_slow_run(self):
+        def sleepy():
+            time.sleep(5.0)
+
+        with pytest.raises(SimulationFailed) as exc_info:
+            run_with_retry(
+                sleepy,
+                policy=RetryPolicy(attempts=1, timeout=0.2),
+                sleep=lambda _s: None,
+            )
+        assert isinstance(exc_info.value.__cause__, SimulationTimeout)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_retry(lambda: 1, policy=RetryPolicy(attempts=0))
+
+    def test_arguments_pass_through(self):
+        result = run_with_retry(
+            lambda a, b=0: a + b, 2, b=3, policy=RetryPolicy(attempts=1)
+        )
+        assert result == 5
+
+
+class TestResilientExecutor:
+    def test_cached_run_retries_flaky_simulation(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_DISK_CACHE", False)
+        clear_cache()
+        failures = [2]  # fail the first two attempts
+
+        def flaky_run(workload, config, params=None, **kwargs):
+            if failures[0] > 0:
+                failures[0] -= 1
+                raise RuntimeError("transient infra failure")
+            return run_workload(workload, config, params, **kwargs)
+
+        set_run_executor(
+            make_resilient_executor(
+                RetryPolicy(attempts=3), base=flaky_run, sleep=lambda _s: None
+            )
+        )
+        params = SimulationParams(accesses_per_core=120, seed=9)
+        result = cached_run("sphinx", "base", scale=65536, params=params)
+        assert result.workload == "sphinx"
+        assert failures[0] == 0
+        clear_cache()
+
+
+class TestCampaign:
+    def _steps(self, log, names=("s1", "s2", "s3"), fail_at=None):
+        def make(name):
+            def thunk():
+                if name == fail_at:
+                    raise SimulationFailed(f"{name} exploded")
+                log.append(name)
+                return name.upper()
+
+            return thunk
+
+        return [(name, make(name)) for name in names]
+
+    def test_runs_all_steps_in_order(self, tmp_path):
+        log = []
+        campaign = Campaign(
+            self._steps(log), checkpoint_path=tmp_path / "ckpt.json"
+        )
+        results = campaign.run()
+        assert log == ["s1", "s2", "s3"]
+        assert results == {"s1": "S1", "s2": "S2", "s3": "S3"}
+        assert not (tmp_path / "ckpt.json").exists()  # cleaned up when done
+
+    def test_killed_campaign_resumes_from_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        log = []
+        first = Campaign(
+            self._steps(log, fail_at="s3"), checkpoint_path=ckpt
+        )
+        with pytest.raises(SimulationFailed):
+            first.run()
+        assert log == ["s1", "s2"]
+        assert ckpt.exists()  # progress survived the crash
+
+        second = Campaign(self._steps(log), checkpoint_path=ckpt)
+        second.run()
+        assert log == ["s1", "s2", "s3"]  # s1/s2 NOT re-run
+        assert second.skipped == ["s1", "s2"]
+        assert not ckpt.exists()
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        log = []
+        with pytest.raises(SimulationFailed):
+            Campaign(self._steps(log, fail_at="s3"), checkpoint_path=ckpt).run()
+        log.clear()
+        Campaign(self._steps(log), checkpoint_path=ckpt, resume=False).run()
+        assert log == ["s1", "s2", "s3"]
+
+    def test_corrupt_checkpoint_starts_fresh(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        ckpt.write_text("{ not json")
+        log = []
+        Campaign(self._steps(log), checkpoint_path=ckpt).run()
+        assert log == ["s1", "s2", "s3"]
+        # the bad file was quarantined, not overwritten silently
+        assert (tmp_path / "ckpt.corrupt.json").exists()
+
+    def test_context_mismatch_ignores_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        log = []
+        with pytest.raises(SimulationFailed):
+            Campaign(
+                self._steps(log, fail_at="s3"),
+                checkpoint_path=ckpt,
+                context="accesses=6000",
+            ).run()
+        log.clear()
+        # Same steps at different parameters: completed list must not apply.
+        Campaign(
+            self._steps(log), checkpoint_path=ckpt, context="accesses=9000"
+        ).run()
+        assert log == ["s1", "s2", "s3"]
+
+    def test_checkpoint_file_is_valid_json(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        log = []
+        with pytest.raises(SimulationFailed):
+            Campaign(self._steps(log, fail_at="s2"), checkpoint_path=ckpt).run()
+        data = json.loads(ckpt.read_text())
+        assert data["completed"] == ["s1"]

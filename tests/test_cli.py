@@ -47,3 +47,46 @@ def test_every_key_maps_to_callable_or_fig4():
     for key, (title, fn) in EXPERIMENTS.items():
         assert title
         assert fn is not None or key == "fig4"
+
+
+def test_unknown_experiment_exit_code_is_usage():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["figure99"])
+    assert exc_info.value.code == 2
+
+
+def test_bad_ecc_choice_is_usage_error():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["fig13", "--ecc", "chipkill"])
+    assert exc_info.value.code == 2
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["fig13", "--retries", "-1"])
+    assert exc_info.value.code == 2
+
+
+def test_simulation_failure_exit_code(capsys, monkeypatch):
+    from repro.harness.campaign import SimulationFailed
+    from repro.harness.runner import set_run_executor
+
+    def doomed(workload, config, params=None, **kwargs):
+        raise SimulationFailed("all retries spent")
+
+    monkeypatch.setattr(runner_mod, "_disk_store", {})
+    set_run_executor(doomed)
+    try:
+        assert main(["fig13", "--accesses", "100"]) == 3
+    finally:
+        set_run_executor(None)
+    assert "all retries spent" in capsys.readouterr().err
+
+
+def test_fault_rate_flag_reaches_results(capsys):
+    assert main(
+        ["faults", "--accesses", "100", "--fault-rate", "0", "--ecc", "none"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "retained@maxrate" in out
+    assert "ecc_corrected" in out
