@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check bench report examples clean
+.PHONY: install test check bench bench-parallel report examples clean
 
 install:
 	python setup.py develop
@@ -16,6 +16,10 @@ check:
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q -s
 
+# Serial vs parallel wall-clock on a cold cache; writes BENCH_parallel.json.
+bench-parallel:
+	PYTHONPATH=src python scripts/bench_parallel.py
+
 report:
 	python -m repro.analysis.report EXPERIMENTS.md
 
@@ -25,5 +29,8 @@ examples:
 	python examples/trace_replay.py omnetpp 1500
 
 clean:
-	rm -f .sim_cache.json test_output.txt bench_output.txt
+	rm -f .sim_cache.json .sim_cache.json.migrated .sim_cache.corrupt.json
+	rm -rf .sim_cache.d
+	rm -f .campaign_checkpoint.json BENCH_parallel.json
+	rm -f test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Measure parallel-scheduler speedup and warm-cache behaviour.
+
+Runs one campaign's planned simulations twice from a cold cache — serially
+(``--jobs 1``) and through the worker pool — and verifies three things:
+
+1. the parallel outcomes are bit-identical to the serial ones,
+2. a warm re-run (fresh-process emulation) is 100% cache hits, and
+3. optionally, the parallel run met ``--min-speedup``.
+
+Results land in a JSON artifact (``BENCH_parallel.json`` by default) so CI
+can archive the measured speedup next to the logs::
+
+    PYTHONPATH=src python scripts/bench_parallel.py --jobs 4 \
+        --min-speedup 1.8 --out BENCH_parallel.json
+
+The script uses its own throwaway cache directory (``REPRO_CACHE_PATH``),
+never the repository's; pass ``--keep-cache`` to inspect it afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+_CACHE_TMP = None
+if "REPRO_CACHE_PATH" not in os.environ:
+    # must happen before repro.harness.runner is imported anywhere
+    _CACHE_TMP = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    os.environ["REPRO_CACHE_PATH"] = os.path.join(_CACHE_TMP, ".sim_cache.json")
+
+import repro.harness.runner as runner_mod  # noqa: E402
+from repro.exec import ProgressPrinter, build_plan, run_jobs  # noqa: E402
+from repro.sim.engine import SimulationParams  # noqa: E402
+
+
+def _timed_run(jobs, workers):
+    """Cold-cache scheduler pass: returns (outcomes, seconds)."""
+    runner_mod.clear_cache(disk=True)
+    printer = ProgressPrinter(sys.stderr)
+    start = time.perf_counter()
+    outcomes = run_jobs(jobs, max_workers=workers, progress=printer)
+    elapsed = time.perf_counter() - start
+    printer.finish()
+    return outcomes, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: CPU count)")
+    parser.add_argument("--experiments", nargs="+", default=["fig10"],
+                        help="experiment keys to plan (default: fig10)")
+    parser.add_argument("--accesses", type=int, default=400,
+                        help="accesses per core per simulation (default 400)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless parallel/serial >= this ratio")
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--keep-cache", action="store_true",
+                        help="keep the throwaway cache directory")
+    args = parser.parse_args(argv)
+
+    from repro.exec import resolve_jobs
+
+    workers = resolve_jobs(args.jobs)
+    params = SimulationParams(accesses_per_core=args.accesses)
+    plan = build_plan(args.experiments, params)
+    print(f"plan: {plan.describe()}; workers={workers} "
+          f"(cpu_count={os.cpu_count()})", file=sys.stderr)
+
+    failures = []
+    serial, serial_s = _timed_run(plan.jobs, 1)
+    parallel, parallel_s = _timed_run(plan.jobs, workers)
+
+    mismatches = sum(
+        1 for s, p in zip(serial, parallel) if s.result != p.result
+    )
+    if mismatches:
+        failures.append(f"{mismatches} job(s) differ between serial and "
+                        f"parallel runs — determinism is broken")
+
+    # warm re-run: drop in-process state, keep the shard files
+    runner_mod.drop_memory_state()
+    warm = run_jobs(plan.jobs, max_workers=workers)
+    warm_misses = sum(1 for o in warm if o.source != "cache")
+    if warm_misses:
+        failures.append(f"{warm_misses} warm job(s) missed the cache")
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        failures.append(f"speedup {speedup:.2f}x is below the "
+                        f"--min-speedup {args.min_speedup}x floor")
+
+    report = {
+        "experiments": args.experiments,
+        "accesses_per_core": args.accesses,
+        "n_jobs": plan.n_jobs,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "outcomes_identical": mismatches == 0,
+        "warm_cache_hits": plan.n_jobs - warm_misses,
+        "warm_cache_misses": warm_misses,
+        "ok": not failures,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"serial {serial_s:.2f}s · parallel {parallel_s:.2f}s "
+          f"({workers} workers) · speedup {speedup:.2f}x · "
+          f"warm hits {report['warm_cache_hits']}/{plan.n_jobs}",
+          file=sys.stderr)
+
+    if _CACHE_TMP and not args.keep_cache:
+        shutil.rmtree(_CACHE_TMP, ignore_errors=True)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Parallel execution engine: jobs, planning, and multiprocess scheduling.
+
+The subsystem that turns a figure-regeneration campaign from a serial
+loop into a sharded, resumable, deterministic fan-out:
+
+* :mod:`repro.exec.job` — the unit of work (workload × config × params)
+  with a stable cache key;
+* :mod:`repro.exec.planner` — expands experiments into a deduped job
+  list in deterministic order;
+* :mod:`repro.exec.scheduler` — the ``ProcessPoolExecutor`` worker pool,
+  with per-job retry/timeout and drain-on-failure semantics;
+* :mod:`repro.exec.cache` — the concurrency-safe sharded result store
+  backing the harness result cache;
+* :mod:`repro.exec.progress` — done/running/failed/ETA reporting.
+"""
+
+from repro.exec.cache import ShardedResultCache
+from repro.exec.job import Job, make_job
+from repro.exec.planner import Plan, build_plan, plan_experiment
+from repro.exec.progress import ProgressPrinter, ProgressSnapshot, format_progress
+from repro.exec.scheduler import (
+    JobOutcome,
+    resolve_jobs,
+    run_configs,
+    run_jobs,
+)
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "Plan",
+    "ProgressPrinter",
+    "ProgressSnapshot",
+    "ShardedResultCache",
+    "build_plan",
+    "format_progress",
+    "make_job",
+    "plan_experiment",
+    "resolve_jobs",
+    "run_configs",
+    "run_jobs",
+]

@@ -1,0 +1,161 @@
+"""Concurrency-safe sharded result store: one file per cache entry.
+
+The monolithic ``.sim_cache.json`` of earlier revisions was crash-safe
+(temp file + fsync + atomic rename) but not *concurrency*-safe: two
+processes saving at once each rewrote the whole file from their private
+in-memory store, so the last writer silently dropped the other's entries.
+Sharding fixes that structurally — every cache key owns its own entry
+file, so N workers writing N different keys touch N different files and
+merge by construction, while two writers of the *same* key race only
+between bit-identical payloads (simulations are deterministic functions
+of the key).
+
+Layout (``root`` is ``<cache path>.d/``, e.g. ``.sim_cache.d/``)::
+
+    .sim_cache.d/
+        <sha256(key)[:32]>.json     one entry: {"key": ..., "result": ...}
+        <shard>.json.corrupt        quarantined unreadable entry files
+
+Each entry file is written with the same temp + fsync + rename discipline
+as before, so readers never observe a torn entry.  The store knows
+nothing about :class:`~repro.sim.metrics.SimResult` schemas — entries are
+opaque JSON values; schema validation stays in the harness layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+_ENTRY_SUFFIX = ".json"
+_QUARANTINE_SUFFIX = ".corrupt"
+
+
+class ShardedResultCache:
+    """A directory of single-entry JSON files keyed by hashed cache key."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return self.root / f"{digest}{_ENTRY_SUFFIX}"
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, key: str) -> Optional[object]:
+        """The entry stored under ``key``, or None (quarantining a torn file)."""
+        path = self.entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            # Hash collision or foreign/garbled payload: treat as a miss.
+            self._quarantine(path)
+            return None
+        return payload.get("result")
+
+    def read_all(self) -> Dict[str, object]:
+        """Every readable entry as ``{key: result}`` (quarantines bad files)."""
+        entries: Dict[str, object] = {}
+        if not self.root.is_dir():
+            return entries
+        for path in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}")):
+            try:
+                payload = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._quarantine(path)
+                continue
+            if not isinstance(payload, dict) or "key" not in payload:
+                self._quarantine(path)
+                continue
+            entries[str(payload["key"])] = payload.get("result")
+        return entries
+
+    def exists(self, key: str) -> bool:
+        return self.entry_path(key).exists()
+
+    # -- writes --------------------------------------------------------------
+
+    def write(self, key: str, result: object) -> None:
+        """Atomically persist one entry (temp file + fsync + rename).
+
+        Concurrent writers of *different* keys write different files, so
+        nothing is ever clobbered; concurrent writers of the *same* key
+        rename complete files over each other, so readers always see one
+        whole entry.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.entry_path(key)
+        payload = json.dumps({"key": key, "result": result})
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def remove(self, key: str) -> None:
+        try:
+            self.entry_path(key).unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Delete every entry (and the directory, if then empty)."""
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob(f"*{_ENTRY_SUFFIX}"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            self.root.rmdir()
+        except OSError:
+            pass  # quarantined files (or a racing writer) keep it alive
+
+    # -- migration -----------------------------------------------------------
+
+    def import_entries(self, entries: Dict[str, object]) -> int:
+        """Write each entry that is not already sharded; returns the count.
+
+        This is the one-time migration path from the monolithic cache file:
+        existing shard entries win (they are at least as fresh), so two
+        processes migrating concurrently converge on the same directory.
+        """
+        imported = 0
+        for key, result in entries.items():
+            if not self.exists(key):
+                self.write(key, result)
+                imported += 1
+        return imported
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move an unreadable entry file aside so the evidence survives."""
+        try:
+            os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
+        except OSError:
+            pass

@@ -1,0 +1,88 @@
+"""The unit of schedulable work: one (workload × config × params) simulation.
+
+A :class:`Job` is a value object — frozen, hashable, and picklable — so the
+planner can dedupe jobs shared between figures with a plain dict and the
+scheduler can ship them to worker processes.  Its :attr:`cache_key` is the
+*same* tuple the result cache keys on, which is what makes "checkpoint and
+resume per job" fall out for free: a job whose key is already cached is
+complete, wherever (and whenever) it ran.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.harness import runner as runner_mod
+from repro.sim.engine import SimulationParams
+from repro.sim.metrics import SimResult
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent simulation, addressable by its stable cache key."""
+
+    workload: str
+    config_name: str
+    # default_factory (not a plain default) so the partially-initialized
+    # runner module is never touched during the runner <-> exec import cycle
+    scale: int = field(default_factory=lambda: runner_mod.DEFAULT_SCALE)
+    params: SimulationParams = field(default_factory=SimulationParams)
+
+    @property
+    def cache_key(self) -> Tuple:
+        """The result-cache key tuple (see ``runner._key``)."""
+        return runner_mod._key(
+            self.workload, self.config_name, self.scale, self.params
+        )
+
+    @property
+    def job_id(self) -> str:
+        """Short stable identifier derived from the cache key."""
+        digest = hashlib.sha256(
+            json.dumps(self.cache_key).encode("utf-8")
+        ).hexdigest()
+        return digest[:12]
+
+    def describe(self) -> str:
+        """Human label for progress lines and failure reports."""
+        label = f"{self.workload} × {self.config_name}"
+        if self.params.fault_rate:
+            label += f" @fault={self.params.fault_rate:g}"
+        return label
+
+    def peek(self) -> Optional[SimResult]:
+        """This job's cached result, if any (memory or disk)."""
+        return runner_mod.peek_cached(
+            self.workload, self.config_name, scale=self.scale, params=self.params
+        )
+
+    def execute(self) -> SimResult:
+        """Run (or fetch) the simulation through the shared result cache."""
+        return runner_mod.cached_run(
+            self.workload, self.config_name, scale=self.scale, params=self.params
+        )
+
+
+def make_job(
+    workload: str,
+    config_name: str,
+    *,
+    scale: Optional[int] = None,
+    params: Optional[SimulationParams] = None,
+) -> Job:
+    """Build a Job, normalizing defaults exactly like ``cached_run`` does.
+
+    ``cached_run(params=None)`` substitutes ``SimulationParams(accesses_per_core
+    = DEFAULT_ACCESSES)``; the planner must mirror that so planned keys equal
+    executed keys.
+    """
+    return Job(
+        workload=workload,
+        config_name=config_name,
+        scale=runner_mod.DEFAULT_SCALE if scale is None else scale,
+        params=params
+        or SimulationParams(accesses_per_core=runner_mod.DEFAULT_ACCESSES),
+    )

@@ -1,0 +1,84 @@
+"""Deterministic campaign planner: experiments → deduped job list.
+
+Every experiment driver in :mod:`repro.harness.experiments` carries a
+``.plan(params)`` attribute declaring the ``(workload, config, params)``
+runs it will request from the result cache (``tests/test_exec_planner.py``
+holds the two in lock-step).  The planner expands a list of experiment
+keys into :class:`~repro.exec.job.Job` objects and dedupes jobs shared
+across figures — e.g. the ``base`` baseline appears in almost every
+figure but is simulated once per workload — producing the flat frontier
+of an (embarrassingly parallel) job DAG whose only join is the final
+table rendering.
+
+Plan order is deterministic: experiment-registry order, then each
+experiment's declared order, first occurrence winning on dedupe.  The
+scheduler preserves it, which is how parallel campaigns stay bit-identical
+to serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.exec.job import Job, make_job
+from repro.sim.engine import SimulationParams
+
+
+@dataclass
+class Plan:
+    """An ordered, deduped list of jobs plus the per-experiment breakdown."""
+
+    jobs: List[Job] = field(default_factory=list)
+    by_experiment: Dict[str, List[Job]] = field(default_factory=dict)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def describe(self) -> str:
+        shared = sum(len(jobs) for jobs in self.by_experiment.values())
+        return (
+            f"{len(self.jobs)} unique job(s) across "
+            f"{len(self.by_experiment)} experiment(s)"
+            + (f" ({shared - len(self.jobs)} deduped)" if shared > len(self.jobs) else "")
+        )
+
+
+def plan_experiment(
+    key: str, params: Optional[SimulationParams] = None
+) -> List[Job]:
+    """The jobs one experiment needs, in declared order (deduped).
+
+    Experiments without a ``.plan`` attribute (``fig4`` runs no
+    simulations) plan to an empty list and simply execute serially.
+    """
+    from repro.harness.experiments import EXPERIMENTS
+
+    try:
+        _title, fn = EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError(f"unknown experiment {key!r}") from None
+    planner = getattr(fn, "plan", None)
+    if planner is None:
+        return []
+    jobs = [
+        make_job(workload, config_name, params=run_params)
+        for workload, config_name, run_params in planner(params)
+    ]
+    return list(dict.fromkeys(jobs))
+
+
+def build_plan(
+    keys: Iterable[str], params: Optional[SimulationParams] = None
+) -> Plan:
+    """Expand ``keys`` into a deduped plan (shared jobs scheduled once)."""
+    plan = Plan()
+    ordered: Dict[Job, None] = {}
+    for key in keys:
+        jobs = plan_experiment(key, params)
+        plan.by_experiment[key] = jobs
+        for job in jobs:
+            ordered.setdefault(job, None)
+    plan.jobs = list(ordered)
+    return plan

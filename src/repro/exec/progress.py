@@ -1,0 +1,99 @@
+"""Campaign progress reporting: done / running / failed counts plus ETA.
+
+Progress goes to *stderr* so the tables an experiment prints to stdout
+stay byte-identical between serial and parallel runs (and between runs
+with and without a TTY attached).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+
+@dataclass
+class ProgressSnapshot:
+    """One scheduler heartbeat, as handed to progress callbacks."""
+
+    done: int
+    running: int
+    failed: int
+    total: int
+    cached: int = 0
+    eta_seconds: Optional[float] = None
+    label: str = ""
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = max(0, int(round(seconds)))
+    minutes, secs = divmod(seconds, 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+def format_progress(snap: ProgressSnapshot) -> str:
+    """``jobs 12/40 · 4 running · 1 failed · eta 0:42 (mcf × dice)``"""
+    parts = [
+        f"jobs {snap.done}/{snap.total}",
+        f"{snap.running} running",
+        f"{snap.failed} failed",
+        f"eta {_fmt_eta(snap.eta_seconds)}",
+    ]
+    line = " · ".join(parts)
+    if snap.label:
+        line += f" ({snap.label})"
+    return line
+
+
+class ProgressPrinter:
+    """Render scheduler snapshots as a single updating line (TTY) or a
+    throttled trickle of lines (logs/CI), plus a final summary."""
+
+    def __init__(
+        self,
+        stream: TextIO = sys.stderr,
+        *,
+        min_interval: float = 2.0,
+    ) -> None:
+        self.stream = stream
+        self.min_interval = min_interval
+        self._isatty = bool(getattr(stream, "isatty", lambda: False)())
+        self._last_emit = 0.0
+        self._last: Optional[ProgressSnapshot] = None
+
+    def __call__(self, snap: ProgressSnapshot) -> None:
+        self._last = snap
+        now = time.monotonic()
+        final = snap.done + snap.failed >= snap.total
+        if not final and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        line = format_progress(snap)
+        if self._isatty:
+            self.stream.write("\r\x1b[2K" + line)
+            self.stream.flush()
+        else:
+            print(line, file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Terminate the updating line and print the cache-hit summary."""
+        if self._isatty and self._last is not None:
+            self.stream.write("\n")
+        snap = self._last
+        if snap is None:
+            return
+        executed = snap.done - snap.cached
+        hit_pct = 100.0 * snap.cached / snap.total if snap.total else 100.0
+        print(
+            f"jobs: {snap.total} total · {snap.cached} from cache · "
+            f"{executed} run · {snap.failed} failed "
+            f"(cache hits: {hit_pct:.0f}%)",
+            file=self.stream,
+            flush=True,
+        )

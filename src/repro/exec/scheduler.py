@@ -1,0 +1,269 @@
+"""Multiprocess worker-pool scheduler for simulation jobs.
+
+``run_jobs`` shards a planned job list across ``N`` worker processes
+(``--jobs N`` / ``REPRO_JOBS``, defaulting to the machine's core count)
+and merges the outcomes back **in plan order**, so parallel campaigns are
+bit-identical to serial ones: every job is a deterministic function of
+its cache key, and only the completion *order* — which nothing downstream
+observes — varies between runs.
+
+Resilience is per job, not per campaign: each worker applies the
+campaign layer's :class:`~repro.harness.campaign.RetryPolicy`
+(per-attempt timeout, exponential-backoff retries) around its own
+simulation, and every finished job persists through the sharded result
+cache immediately, so a killed campaign resumes at the granularity of
+single (workload, config) pairs.  A failing job never aborts the pool:
+the scheduler drains the remaining jobs and reports every failure, so
+one bad configuration costs one table, not the whole campaign.
+
+Worker processes are forked where available (POSIX), which lets them
+inherit the parent's in-memory cache, installed executors, and
+monkeypatched test state; ``spawn`` is the fallback elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.exec.job import Job
+from repro.exec.progress import ProgressSnapshot
+from repro.harness import runner as runner_mod
+from repro.sim.engine import SimulationParams, run_workload
+from repro.sim.metrics import SimResult
+
+
+def resolve_jobs(value: Optional[int] = None) -> int:
+    """Worker count: explicit value, else ``REPRO_JOBS``, else CPU count."""
+    if value is not None:
+        return max(1, int(value))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: its result, or why it has none."""
+
+    job: Job
+    result: Optional[SimResult]
+    error: Optional[str] = None
+    source: str = "run"  # "cache" | "run" | "failed"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# -- worker-side entry points (top level: picklable under spawn) -------------
+
+
+def _worker_init(policy) -> None:
+    """Install the per-job retry/timeout policy in this worker process."""
+    if policy is not None:
+        from repro.harness.campaign import install_retry_executor
+
+        install_retry_executor(policy)
+
+
+def _execute_job(job: Job) -> SimResult:
+    """Run one job through the shared result cache (persists its entry)."""
+    return job.execute()
+
+
+def _run_config_item(item) -> SimResult:
+    workload, config, params = item
+    return run_workload(workload, config, params)
+
+
+# -- progress accounting -----------------------------------------------------
+
+
+class _Tracker:
+    def __init__(
+        self,
+        total: int,
+        cached: int,
+        callback: Optional[Callable[[ProgressSnapshot], None]],
+    ) -> None:
+        self.total = total
+        self.cached = cached
+        self.done = cached
+        self.failed = 0
+        self.running = 0
+        self.callback = callback
+        self._start = time.monotonic()
+
+    def _eta(self) -> Optional[float]:
+        executed = self.done + self.failed - self.cached
+        remaining = self.total - self.done - self.failed
+        if executed <= 0 or remaining <= 0:
+            return 0.0 if remaining <= 0 else None
+        elapsed = time.monotonic() - self._start
+        return elapsed / executed * remaining
+
+    def emit(self, label: str = "") -> None:
+        if self.callback is None:
+            return
+        self.callback(
+            ProgressSnapshot(
+                done=self.done,
+                running=self.running,
+                failed=self.failed,
+                total=self.total,
+                cached=self.cached,
+                eta_seconds=self._eta(),
+                label=label,
+            )
+        )
+
+    def step(self, outcome: JobOutcome) -> None:
+        if outcome.ok:
+            self.done += 1
+        else:
+            self.failed += 1
+        self.emit(outcome.job.describe())
+
+
+# -- the scheduler -----------------------------------------------------------
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    max_workers: Optional[int] = None,
+    policy=None,
+    progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+) -> List[JobOutcome]:
+    """Execute ``jobs``, in parallel when ``max_workers > 1``.
+
+    Returns one :class:`JobOutcome` per input job **in input order**,
+    regardless of completion order.  Jobs already satisfied by the result
+    cache are served without touching the pool.  Failed jobs (after the
+    policy's retries) yield ``error`` outcomes while the rest of the pool
+    drains normally.
+    """
+    jobs = list(jobs)
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+    # Serve cache hits in the parent: free, and it keeps resumed campaigns
+    # from paying any pool overhead for work that is already done.
+    pending: List[int] = []
+    for i, job in enumerate(jobs):
+        hit = job.peek()
+        if hit is not None:
+            outcomes[i] = JobOutcome(job, hit, source="cache")
+        else:
+            pending.append(i)
+
+    tracker = _Tracker(len(jobs), cached=len(jobs) - len(pending), callback=progress)
+    workers = min(resolve_jobs(max_workers), max(1, len(pending)))
+
+    if not pending:
+        tracker.emit()
+    elif workers <= 1:
+        _run_serial(jobs, pending, outcomes, policy, tracker)
+    else:
+        _run_pool(jobs, pending, outcomes, policy, tracker, workers)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _record(outcomes, i, job, result, error) -> JobOutcome:
+    if error is None:
+        runner_mod.seed_cache(
+            job.workload, job.config_name, result, scale=job.scale, params=job.params
+        )
+        outcome = JobOutcome(job, result)
+    else:
+        outcome = JobOutcome(job, None, error=error, source="failed")
+    outcomes[i] = outcome
+    return outcome
+
+
+def _run_serial(jobs, pending, outcomes, policy, tracker) -> None:
+    """In-process execution (``--jobs 1``): the reference serial semantics."""
+    from repro.harness.campaign import make_resilient_executor
+
+    previous = runner_mod._run_executor
+    if policy is not None:
+        runner_mod.set_run_executor(make_resilient_executor(policy, base=previous))
+    try:
+        for i in pending:
+            tracker.running = 1
+            try:
+                result = _execute_job(jobs[i])
+            except Exception as exc:  # noqa: BLE001 - any failure is an outcome
+                tracker.step(_record(outcomes, i, jobs[i], None, _describe_error(exc)))
+            else:
+                tracker.step(_record(outcomes, i, jobs[i], result, None))
+            tracker.running = 0
+    finally:
+        if policy is not None:
+            runner_mod.set_run_executor(previous)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _run_pool(jobs, pending, outcomes, policy, tracker, workers) -> None:
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=_worker_init,
+        initargs=(policy,),
+    ) as pool:
+        futures = {pool.submit(_execute_job, jobs[i]): i for i in pending}
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            tracker.running = len(remaining)
+            for future in done:
+                i = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - drain, don't abort
+                    outcome = _record(outcomes, i, jobs[i], None, _describe_error(exc))
+                else:
+                    outcome = _record(outcomes, i, jobs[i], result, None)
+                tracker.step(outcome)
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+
+
+# -- ad-hoc parallel map for sweeps ------------------------------------------
+
+
+def run_configs(
+    workload: str,
+    configs: Sequence,
+    params: Optional[SimulationParams],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[SimResult]:
+    """Simulate ``workload`` under each explicit :class:`SystemConfig`.
+
+    The parallel backend for :mod:`repro.harness.sweeps`, where configs are
+    ad-hoc field overrides with no stable name (hence no cache entry).
+    Results come back in config order; errors propagate (a sweep without
+    one of its points is not a sweep).
+    """
+    configs = list(configs)
+    workers = min(resolve_jobs(max_workers), max(1, len(configs)))
+    items = [(workload, config, params) for config in configs]
+    if workers <= 1 or len(configs) <= 1:
+        return [_run_config_item(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+        return list(pool.map(_run_config_item, items))

@@ -12,7 +12,14 @@ paper fidelity.  This module keeps it restartable and self-healing:
   completed step to disk (atomically) so a killed campaign resumes where
   it stopped.  Finer-grained resume — the completed *(workload, config)*
   pairs inside an interrupted experiment — comes for free from the result
-  cache, which persists atomically after every single simulation.
+  cache, which persists atomically after every single simulation;
+* :func:`prefetch_experiments` is the bridge to the parallel execution
+  engine (:mod:`repro.exec`): it plans the simulations a set of
+  experiments needs, fans them out across worker processes with the
+  retry policy applied *per job*, and leaves every result cached so the
+  serial table rendering that follows is instant.  With per-job caching,
+  checkpoint/resume happens at simulation granularity, not experiment
+  granularity.
 """
 
 from __future__ import annotations
@@ -153,6 +160,44 @@ def install_retry_executor(
 ) -> None:
     """Route every uncached `cached_run` through timeout + retry."""
     runner_mod.set_run_executor(make_resilient_executor(policy, base))
+
+
+# ---------------------------------------------------------------------------
+# parallel prefetch
+
+
+def prefetch_experiments(
+    keys: Sequence[str],
+    params,
+    *,
+    jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    stream=None,
+):
+    """Fan out every simulation the given experiments need, ahead of time.
+
+    Plans the (deduped) job list, runs it on the multiprocess scheduler,
+    and returns ``(outcomes, failures)`` — ``failures`` being the outcomes
+    of jobs that kept failing after the policy's retries.  Successful
+    results land in the (sharded, concurrency-safe) result cache, so the
+    experiments' own serial loops replay from memory and their output is
+    bit-identical to a fully serial run.  Progress (done/running/failed +
+    ETA) goes to ``stream`` (default stderr).
+    """
+    import sys
+
+    from repro.exec import ProgressPrinter, build_plan, run_jobs
+
+    plan = build_plan(keys, params)
+    if not plan.jobs:
+        return [], []
+    printer = ProgressPrinter(stream if stream is not None else sys.stderr)
+    outcomes = run_jobs(
+        plan.jobs, max_workers=jobs, policy=policy, progress=printer
+    )
+    printer.finish()
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    return outcomes, failures
 
 
 # ---------------------------------------------------------------------------

@@ -6,31 +6,40 @@ Usage::
     python -m repro.harness.cli fig10
     python -m repro.harness.cli table4 --accesses 8000
     python -m repro.harness.cli faults --fault-rate 3e13 --ecc secded
-    python -m repro.harness.cli all --timeout 900 --retries 2
+    python -m repro.harness.cli all --timeout 900 --retries 2 --jobs 8
 
 Results are cached on disk, so regenerating a second figure that shares
 configurations with the first is nearly instant.  ``all`` checkpoints its
 progress: a killed campaign resumes from the last completed experiment
 (pass ``--no-resume`` to start over).
 
+Simulations fan out across worker processes: ``--jobs N`` (default: the
+``REPRO_JOBS`` environment variable, else the machine's CPU count) runs
+the planned simulations N-wide before the tables are rendered serially,
+so parallel output is bit-identical to ``--jobs 1``.  A progress line
+(jobs done/running/failed plus ETA) is written to stderr.
+
 Exit codes: 0 success, 2 usage error (unknown experiment/flag), 3 a
-simulation failed after all retries.
+simulation failed after all retries (remaining jobs are still drained
+and cached, so a re-run only repeats the failures).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Tuple
+from typing import List, Optional
 
-from repro.harness import experiments
 from repro.harness.campaign import (
     Campaign,
     RetryPolicy,
     SimulationFailed,
     SimulationTimeout,
     install_retry_executor,
+    prefetch_experiments,
 )
+from repro.harness import experiments
+from repro.harness.experiments import EXPERIMENTS  # re-exported for callers
 from repro.harness.report import format_table
 from repro.resilience.ecc import SCHEMES
 from repro.sim.engine import SimulationParams
@@ -38,25 +47,6 @@ from repro.sim.engine import SimulationParams
 EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_SIM_FAILURE = 3
-
-EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
-    "fig1": ("Fig 1(f): potential from doubling cache resources", experiments.fig01_potential),
-    "fig4": ("Fig 4: compressibility of installed lines", None),  # special-cased
-    "fig7": ("Fig 7: TSI and BAI vs doubled caches", experiments.fig07_tsi_bai),
-    "fig10": ("Fig 10: DICE headline speedups", experiments.fig10_dice),
-    "fig11": ("Fig 11: DICE index distribution", experiments.fig11_index_distribution),
-    "fig12": ("Fig 12: DICE on KNL", experiments.fig12_knl),
-    "fig13": ("Fig 13: non-memory-intensive workloads", experiments.fig13_nonintensive),
-    "fig14": ("Fig 14: energy and EDP", experiments.fig14_energy),
-    "fig15": ("Fig 15: SCC vs DICE", experiments.fig15_scc),
-    "table4": ("Table 4: threshold sensitivity", experiments.table4_threshold),
-    "table5": ("Table 5: effective capacity", experiments.table5_capacity),
-    "table6": ("Table 6: L3 hit rate", experiments.table6_l3_hitrate),
-    "table7": ("Table 7: prefetch comparison", experiments.table7_prefetch),
-    "table8": ("Table 8: design-point sensitivity", experiments.table8_sensitivity),
-    "cip": ("Sec 5.3: CIP accuracy", experiments.sec53_cip_accuracy),
-    "faults": ("Extension: resilience under injected DRAM faults", experiments.ext_faults),
-}
 
 
 def run_one(key: str, params: SimulationParams) -> None:
@@ -70,6 +60,32 @@ def run_one(key: str, params: SimulationParams) -> None:
     for name, value in summary.items():
         print(f"  {name:28s} {value:8.3f}")
     print()
+
+
+def _prefetch(
+    keys: List[str],
+    params: SimulationParams,
+    jobs: Optional[int],
+    policy: Optional[RetryPolicy],
+) -> int:
+    """Fan the experiments' simulations out; report failures. 0 or 3."""
+    _outcomes, failures = prefetch_experiments(
+        keys, params, jobs=jobs, policy=policy
+    )
+    if not failures:
+        return EXIT_OK
+    for outcome in failures:
+        print(
+            f"error: simulation failed for {outcome.job.describe()}: "
+            f"{outcome.error}",
+            file=sys.stderr,
+        )
+    print(
+        f"{len(failures)} simulation(s) failed; every other job was drained "
+        f"and cached, so a re-run only repeats the failures",
+        file=sys.stderr,
+    )
+    return EXIT_SIM_FAILURE
 
 
 def main(argv=None) -> int:
@@ -114,6 +130,13 @@ def main(argv=None) -> int:
         help="retries (with exponential backoff) per failed simulation",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel simulation worker processes "
+        "(default: REPRO_JOBS or the CPU count; 1 disables the pool)",
+    )
+    parser.add_argument(
         "--no-resume",
         action="store_true",
         help="ignore a previous `all` campaign checkpoint and start over",
@@ -125,6 +148,7 @@ def main(argv=None) -> int:
             print(f"  {key:8s} {title}")
         return EXIT_OK
 
+    from repro.exec import resolve_jobs
     from repro.harness.runner import DEFAULT_ACCESSES
 
     params = SimulationParams(
@@ -137,12 +161,19 @@ def main(argv=None) -> int:
         parser.error("--retries must be >= 0")
     if args.timeout is not None and args.timeout <= 0:
         parser.error("--timeout must be positive")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    policy: Optional[RetryPolicy] = None
     if args.timeout is not None or args.retries:
-        install_retry_executor(
-            RetryPolicy(attempts=args.retries + 1, timeout=args.timeout)
-        )
+        policy = RetryPolicy(attempts=args.retries + 1, timeout=args.timeout)
+        install_retry_executor(policy)
+    jobs = resolve_jobs(args.jobs)
 
     if args.experiment == "all":
+        if jobs > 1:
+            status = _prefetch(list(EXPERIMENTS), params, jobs, policy)
+            if status != EXIT_OK:
+                return status
         # A campaign context ties the checkpoint to these parameters, so a
         # resume never skips work that was done at different settings.
         context = (
@@ -173,6 +204,10 @@ def main(argv=None) -> int:
 
     if args.experiment not in EXPERIMENTS:
         parser.error(f"unknown experiment {args.experiment!r}; try `list`")
+    if jobs > 1:
+        status = _prefetch([args.experiment], params, jobs, policy)
+        if status != EXIT_OK:
+            return status
     try:
         run_one(args.experiment, params)
     except (SimulationFailed, SimulationTimeout) as exc:

@@ -4,12 +4,20 @@ Every driver returns ``(headers, rows, summary)`` where rows are per-workload
 results and ``summary`` aggregates over the paper's reporting groups.  The
 benchmark files print these with :func:`repro.harness.report.format_table`,
 producing the same rows/series the paper reports.
+
+Each driver also carries a ``.plan(params)`` attribute declaring the
+``(workload, config, params)`` simulations it will request from the result
+cache.  The parallel execution engine (:mod:`repro.exec`) expands these
+declarations into a deduped job list and fans the simulations out across
+worker processes *before* the driver runs, so the driver itself — whose
+serial loop renders the tables — executes entirely from cache.
+``tests/test_exec_planner.py`` asserts plan and driver stay in lock-step.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compression.hybrid import HybridCompressor
 from repro.compression.pair import pair_compressed_size
@@ -35,6 +43,35 @@ GROUPS = {
     "GAP": GAP_WORKLOADS,
     "ALL26": SPEC_RATE + MIX_WORKLOADS + GAP_WORKLOADS,
 }
+
+
+def _speedup_plan(
+    configs: Sequence[str],
+    workloads: Optional[Sequence[str]] = None,
+    baseline: str = "base",
+) -> Callable[[Optional[SimulationParams]], List[Tuple[str, str, object]]]:
+    """Plan declaration matching :func:`_speedup_experiment`'s cache use."""
+
+    def plan(params: Optional[SimulationParams] = None):
+        wls = list(workloads or workload_names("all26"))
+        cfgs = list(configs)
+        if baseline not in cfgs:
+            cfgs.append(baseline)
+        return [(wl, cfg, params) for wl in wls for cfg in cfgs]
+
+    return plan
+
+
+def _configs_plan(
+    configs: Sequence[str], workloads: Optional[Sequence[str]] = None
+) -> Callable[[Optional[SimulationParams]], List[Tuple[str, str, object]]]:
+    """Plan for drivers that read ``configs`` directly (no baseline)."""
+
+    def plan(params: Optional[SimulationParams] = None):
+        wls = list(workloads or workload_names("all26"))
+        return [(wl, cfg, params) for wl in wls for cfg in configs]
+
+    return plan
 
 
 def _speedup_experiment(
@@ -68,6 +105,9 @@ def _speedup_experiment(
 def fig01_potential(params: Optional[SimulationParams] = None):
     """Speedup from 2x capacity, 2x bandwidth, and both (Fig 1f)."""
     return _speedup_experiment(["2xcap", "2xbw", "2xcap2xbw"], params=params)
+
+
+fig01_potential.plan = _speedup_plan(["2xcap", "2xbw", "2xcap2xbw"])
 
 
 # -- Figure 4: compressibility of installed lines ----------------------------
@@ -119,11 +159,17 @@ def fig07_tsi_bai(params: Optional[SimulationParams] = None):
     )
 
 
+fig07_tsi_bai.plan = _speedup_plan(["tsi", "bai", "2xcap", "2xcap2xbw"])
+
+
 def fig10_dice(params: Optional[SimulationParams] = None):
     """TSI, BAI, DICE vs the 2x-capacity 2x-bandwidth cache (Fig 10)."""
     return _speedup_experiment(
         ["tsi", "bai", "dice", "2xcap2xbw"], params=params
     )
+
+
+fig10_dice.plan = _speedup_plan(["tsi", "bai", "dice", "2xcap2xbw"])
 
 
 # -- Figure 11: distribution of indices under DICE ----------------------------
@@ -149,11 +195,17 @@ def fig11_index_distribution(params: Optional[SimulationParams] = None):
     return headers, rows, summary
 
 
+fig11_index_distribution.plan = _configs_plan(["dice"])
+
+
 # -- Figure 12: DICE on Knights Landing ---------------------------------------
 
 def fig12_knl(params: Optional[SimulationParams] = None):
     """DICE on a tags-in-ECC (no neighbor tag) cache."""
     return _speedup_experiment(["dice-knl", "dice"], params=params)
+
+
+fig12_knl.plan = _speedup_plan(["dice-knl", "dice"])
 
 
 # -- Figure 13: non-memory-intensive workloads ---------------------------------
@@ -168,6 +220,9 @@ def fig13_nonintensive(params: Optional[SimulationParams] = None):
         values[wl] = s
         rows.append([wl, s])
     return headers, rows, {"gmean": geomean(values.values())}
+
+
+fig13_nonintensive.plan = _speedup_plan(["dice"], workloads=NON_INTENSIVE)
 
 
 # -- Figure 14: energy ----------------------------------------------------------
@@ -203,11 +258,17 @@ def fig14_energy(params: Optional[SimulationParams] = None):
     return headers, rows, summary
 
 
+fig14_energy.plan = _configs_plan(["tsi", "bai", "dice", "base"])
+
+
 # -- Figure 15: SCC on a DRAM cache ---------------------------------------------
 
 def fig15_scc(params: Optional[SimulationParams] = None):
     """Skewed Compressed Cache vs DICE (Fig 15)."""
     return _speedup_experiment(["scc", "dice"], params=params)
+
+
+fig15_scc.plan = _speedup_plan(["scc", "dice"])
 
 
 # -- Table 4: insertion-threshold sensitivity ------------------------------------
@@ -219,6 +280,9 @@ def table4_threshold(params: Optional[SimulationParams] = None):
     )
     headers = ["workload", "<=32B", "<=36B", "<=40B"]
     return headers, rows, summary
+
+
+table4_threshold.plan = _speedup_plan(["dice-t32", "dice", "dice-t40"])
 
 
 # -- Table 5: effective capacity --------------------------------------------------
@@ -245,6 +309,9 @@ def table5_capacity(params: Optional[SimulationParams] = None):
     return headers, rows, summary
 
 
+table5_capacity.plan = _configs_plan(["base", "tsi", "bai", "dice"])
+
+
 # -- Table 6: L3 hit rate -----------------------------------------------------------
 
 def table6_l3_hitrate(params: Optional[SimulationParams] = None):
@@ -265,6 +332,9 @@ def table6_l3_hitrate(params: Optional[SimulationParams] = None):
     return headers, rows, summary
 
 
+table6_l3_hitrate.plan = _configs_plan(["base", "dice"])
+
+
 # -- Table 7: prefetch comparison -----------------------------------------------------
 
 def table7_prefetch(params: Optional[SimulationParams] = None):
@@ -273,6 +343,11 @@ def table7_prefetch(params: Optional[SimulationParams] = None):
         ["base-wide128", "base-nextline", "dice", "dice-nextline"],
         params=params,
     )
+
+
+table7_prefetch.plan = _speedup_plan(
+    ["base-wide128", "base-nextline", "dice", "dice-nextline"]
+)
 
 
 # -- Table 8: capacity / bandwidth / latency sensitivity -------------------------------
@@ -300,6 +375,12 @@ def table8_sensitivity(params: Optional[SimulationParams] = None):
         for group, mean in group_geomeans(values, GROUPS).items():
             summary[f"{label}/{group}"] = mean
     return headers, rows, summary
+
+
+table8_sensitivity.plan = _configs_plan(
+    ["dice", "base", "dice-2xcap", "2xcap", "dice-2xbw", "2xbw",
+     "dice-halflat", "halflat"]
+)
 
 
 # -- Extension: fault injection and ECC-aware degradation -----------------------------
@@ -363,6 +444,24 @@ def ext_faults(params: Optional[SimulationParams] = None):
     return headers, rows, summary
 
 
+def _faults_plan(params: Optional[SimulationParams] = None):
+    # Mirrors ext_faults exactly: it normalizes params itself (plain
+    # SimulationParams(), not DEFAULT_ACCESSES) and sweeps fault_rate.
+    params = params or SimulationParams()
+    runs: List[Tuple[str, str, object]] = []
+    for wl in FAULT_WORKLOADS:
+        runs.append((wl, "base", params))
+        for cfg in FAULT_CONFIGS:
+            for rate in FAULT_RATES:
+                runs.append(
+                    (wl, cfg, dataclasses.replace(params, fault_rate=rate))
+                )
+    return runs
+
+
+ext_faults.plan = _faults_plan
+
+
 # -- Sec 5.3: CIP accuracy ------------------------------------------------------------
 
 def sec53_cip_accuracy(params: Optional[SimulationParams] = None):
@@ -387,3 +486,29 @@ def sec53_cip_accuracy(params: Optional[SimulationParams] = None):
     summary = {cfg: sum(v) / len(v) for cfg, v in acc.items()}
     summary["write"] = sum(write_acc) / len(write_acc)
     return headers, rows, summary
+
+
+sec53_cip_accuracy.plan = _configs_plan(["dice-ltt512", "dice", "dice-ltt8192"])
+
+
+# ---------------------------------------------------------------------------
+# experiment registry (the CLI, planner, and report generator all read this)
+
+EXPERIMENTS: Dict[str, Tuple[str, Optional[Callable]]] = {
+    "fig1": ("Fig 1(f): potential from doubling cache resources", fig01_potential),
+    "fig4": ("Fig 4: compressibility of installed lines", None),  # special-cased
+    "fig7": ("Fig 7: TSI and BAI vs doubled caches", fig07_tsi_bai),
+    "fig10": ("Fig 10: DICE headline speedups", fig10_dice),
+    "fig11": ("Fig 11: DICE index distribution", fig11_index_distribution),
+    "fig12": ("Fig 12: DICE on KNL", fig12_knl),
+    "fig13": ("Fig 13: non-memory-intensive workloads", fig13_nonintensive),
+    "fig14": ("Fig 14: energy and EDP", fig14_energy),
+    "fig15": ("Fig 15: SCC vs DICE", fig15_scc),
+    "table4": ("Table 4: threshold sensitivity", table4_threshold),
+    "table5": ("Table 5: effective capacity", table5_capacity),
+    "table6": ("Table 6: L3 hit rate", table6_l3_hitrate),
+    "table7": ("Table 7: prefetch comparison", table7_prefetch),
+    "table8": ("Table 8: design-point sensitivity", table8_sensitivity),
+    "cip": ("Sec 5.3: CIP accuracy", sec53_cip_accuracy),
+    "faults": ("Extension: resilience under injected DRAM faults", ext_faults),
+}

@@ -5,6 +5,13 @@ so a (workload, config) pair simulates once per process (and once per
 machine if the disk cache is enabled) no matter how many figures use it —
 the same economy the paper gets from deriving many plots from one set of
 simulation campaigns.
+
+The disk cache is *sharded*: each entry lives in its own file under
+``.sim_cache.d/`` (see :class:`repro.exec.cache.ShardedResultCache`), so
+the parallel scheduler's N worker processes can read and write results
+concurrently without clobbering each other.  A monolithic
+``.sim_cache.json`` left by an earlier revision is migrated into the
+shard directory once, then renamed aside.
 """
 
 from __future__ import annotations
@@ -12,11 +19,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.config import SystemConfig
+from repro.exec.cache import ShardedResultCache
 from repro.sim.engine import SimulationParams, run_workload
 from repro.sim.metrics import SimResult
 
@@ -170,6 +177,19 @@ class CacheEntryError(ValueError):
     """A disk-cache entry does not match the current SimResult schema."""
 
 
+def _cache_dir() -> Path:
+    """The shard directory, derived from the (env-overridable) cache path."""
+    return _CACHE_PATH.with_suffix(".d")
+
+
+def _store() -> ShardedResultCache:
+    return ShardedResultCache(_cache_dir())
+
+
+def _migrated_path() -> Path:
+    return _CACHE_PATH.with_name(_CACHE_PATH.name + ".migrated")
+
+
 def _quarantine_path() -> Path:
     return _CACHE_PATH.with_suffix(".corrupt.json")
 
@@ -185,6 +205,8 @@ def _quarantine_file() -> None:
 def _quarantine_entry(disk_key: str, entry: object) -> None:
     """Append one schema-drifted entry to the quarantine file and drop it."""
     _disk_store.pop(disk_key, None)
+    if _DISK_CACHE:
+        _store().remove(disk_key)  # keep it from resurrecting on next load
     path = _quarantine_path()
     try:
         quarantined = {}
@@ -201,54 +223,57 @@ def _quarantine_entry(disk_key: str, entry: object) -> None:
         pass
 
 
+def _migrate_monolithic() -> None:
+    """One-time import of a legacy monolithic ``.sim_cache.json``.
+
+    Valid entries are copied into the shard directory (existing shards
+    win, so concurrent migrations converge), then the monolithic file is
+    renamed aside.  A truncated or non-dict file is quarantined exactly
+    as before — the evidence survives, the cache starts fresh.
+    """
+    if not _CACHE_PATH.exists():
+        return
+    try:
+        loaded = json.loads(_CACHE_PATH.read_text())
+    except json.JSONDecodeError:
+        _quarantine_file()
+        return
+    except OSError:
+        return
+    if not isinstance(loaded, dict):
+        _quarantine_file()
+        return
+    try:
+        _store().import_entries(loaded)
+    except OSError:
+        return  # unwritable directory: leave the monolithic file in place
+    try:
+        os.replace(_CACHE_PATH, _migrated_path())
+    except OSError:
+        pass
+
+
 def _load_disk() -> None:
     global _disk_loaded
     if _disk_loaded or not _DISK_CACHE:
         _disk_loaded = True
         return
     _disk_loaded = True
-    if _CACHE_PATH.exists():
-        try:
-            loaded = json.loads(_CACHE_PATH.read_text())
-        except json.JSONDecodeError:
-            # Truncated or garbled file (crashed writer, disk hiccup):
-            # quarantine it so the evidence survives, then start fresh.
-            _quarantine_file()
-            return
-        except OSError:
-            return
-        if isinstance(loaded, dict):
-            _disk_store.update(loaded)
-        else:
-            _quarantine_file()
+    _migrate_monolithic()
+    _disk_store.update(_store().read_all())
 
 
-def _save_disk() -> None:
-    """Atomically persist the store: temp file + fsync + rename.
+def _save_entry(disk_key: str, entry: dict) -> None:
+    """Persist one entry to its shard file (atomic; concurrency-safe).
 
-    A crashed or concurrent run can therefore never leave a truncated
-    `.sim_cache.json` behind — readers see either the old complete file or
-    the new complete file.
+    Writing per entry instead of rewriting a monolithic store means two
+    processes finishing different simulations at the same time *merge*
+    their results on disk instead of last-writer-wins clobbering.
     """
     if not _DISK_CACHE:
         return
     try:
-        payload = json.dumps(_disk_store)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=_CACHE_PATH.name + ".", suffix=".tmp", dir=_CACHE_PATH.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, _CACHE_PATH)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _store().write(disk_key, entry)
     except OSError:
         pass
 
@@ -285,6 +310,74 @@ def _result_from_dict(d: object) -> SimResult:
         raise CacheEntryError(str(exc)) from exc
 
 
+def _lookup(key: Tuple, disk_key: str) -> Optional[SimResult]:
+    """Memory, then loaded disk store, then a fresh shard read (so results
+    written by a concurrent process after our load are still found)."""
+    hit = _memory_cache.get(key)
+    if hit is not None:
+        return hit
+    _load_disk()
+    entry = _disk_store.get(disk_key)
+    if entry is None and _DISK_CACHE:
+        entry = _store().read(disk_key)
+        if entry is not None:
+            _disk_store[disk_key] = entry
+    if entry is None:
+        return None
+    try:
+        result = _result_from_dict(entry)
+    except CacheEntryError:
+        # Stale or corrupt entry: quarantine it and re-simulate rather
+        # than crashing mid-benchmark.
+        _quarantine_entry(disk_key, entry)
+        return None
+    _memory_cache[key] = result
+    return result
+
+
+def peek_cached(
+    workload: str,
+    config_name: str,
+    *,
+    scale: int = DEFAULT_SCALE,
+    params: Optional[SimulationParams] = None,
+) -> Optional[SimResult]:
+    """The cached result for this run, or None — never simulates."""
+    params = params or SimulationParams(accesses_per_core=DEFAULT_ACCESSES)
+    key = _key(workload, config_name, scale, params)
+    return _lookup(key, json.dumps(key))
+
+
+def seed_cache(
+    workload: str,
+    config_name: str,
+    result: SimResult,
+    *,
+    scale: int = DEFAULT_SCALE,
+    params: Optional[SimulationParams] = None,
+) -> None:
+    """Install an externally computed result (e.g. from a worker process).
+
+    The parallel scheduler seeds the parent's caches with results its
+    workers return, so the serial replay that renders the tables runs
+    entirely from memory.
+    """
+    params = params or SimulationParams(accesses_per_core=DEFAULT_ACCESSES)
+    key = _key(workload, config_name, scale, params)
+    disk_key = json.dumps(key)
+    _memory_cache[key] = result
+    if not _DISK_CACHE:
+        return  # _disk_store mirrors disk; don't grow it past clear_cache()
+    _load_disk()
+    if disk_key not in _disk_store:
+        entry = _result_to_dict(result)
+        _disk_store[disk_key] = entry
+        # A forked worker has usually persisted the shard already; skip
+        # the redundant write when it has.
+        if not _store().exists(disk_key):
+            _save_entry(disk_key, entry)
+
+
 def cached_run(
     workload: str,
     config_name: str,
@@ -295,36 +388,44 @@ def cached_run(
     """Run (or fetch) one simulation."""
     params = params or SimulationParams(accesses_per_core=DEFAULT_ACCESSES)
     key = _key(workload, config_name, scale, params)
-    hit = _memory_cache.get(key)
-    if hit is not None:
-        return hit
-    _load_disk()
     disk_key = json.dumps(key)
-    if disk_key in _disk_store:
-        try:
-            result = _result_from_dict(_disk_store[disk_key])
-        except CacheEntryError:
-            # Stale or corrupt entry: quarantine it and re-simulate rather
-            # than crashing mid-benchmark.
-            _quarantine_entry(disk_key, _disk_store.get(disk_key))
-        else:
-            _memory_cache[key] = result
-            return result
+    found = _lookup(key, disk_key)
+    if found is not None:
+        return found
     config = resolve_config(config_name, scale)
     result = _run_executor(workload, config, params)
     _memory_cache[key] = result
-    _disk_store[disk_key] = _result_to_dict(result)
-    _save_disk()
+    if _DISK_CACHE:
+        entry = _result_to_dict(result)
+        _disk_store[disk_key] = entry
+        _save_entry(disk_key, entry)
     return result
 
 
 def clear_cache(disk: bool = False) -> None:
     """Drop cached results (tests use this to force fresh runs)."""
+    global _disk_loaded
     _memory_cache.clear()
     if disk:
         _disk_store.clear()
-        if _CACHE_PATH.exists():
-            _CACHE_PATH.unlink()
+        _disk_loaded = False  # a later lookup re-scans (now empty) shards
+        _store().clear()
+        for path in (_CACHE_PATH, _migrated_path()):
+            if path.exists():
+                path.unlink()
+
+
+def drop_memory_state() -> None:
+    """Forget all in-process cache state, keeping disk intact.
+
+    Emulates a fresh process: the next lookup reloads from the shard
+    directory.  Used by tests and the parallel benchmark script to verify
+    warm-cache behaviour without actually re-execing.
+    """
+    global _disk_loaded
+    _memory_cache.clear()
+    _disk_store.clear()
+    _disk_loaded = False
 
 
 def speedup(

@@ -4,14 +4,20 @@
 overrides (thresholds, CIP sizes, tag sharing, victim policy, ...) and
 reports speedups over a shared baseline — the machinery behind the paper's
 Table 4-style sensitivity studies, exposed for ad-hoc exploration.
+
+Sweep points are independent simulations, so they fan out across worker
+processes (``jobs=`` / ``REPRO_JOBS``, defaulting to the CPU count) via
+:func:`repro.exec.run_configs`; results come back in override order, so a
+parallel sweep is indistinguishable from a serial one.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec import run_configs
 from repro.harness.runner import DEFAULT_SCALE, resolve_config
-from repro.sim.engine import SimulationParams, run_workload
+from repro.sim.engine import SimulationParams
 from repro.sim.metrics import SimResult
 
 
@@ -23,19 +29,25 @@ def sweep_l4(
     baseline: str = "base",
     scale: int = DEFAULT_SCALE,
     params: Optional[SimulationParams] = None,
+    jobs: Optional[int] = None,
 ) -> List[Tuple[Dict[str, object], float, SimResult]]:
     """Run ``workload`` once per override dict.
 
     Returns ``(override, speedup_over_baseline, result)`` per point.
+    ``jobs`` bounds the worker processes (None: ``REPRO_JOBS`` or the CPU
+    count; 1 runs in-process).
     """
     params = params or SimulationParams()
-    ref = run_workload(workload, resolve_config(baseline, scale), params)
-    points = []
-    for override in overrides:
-        config = resolve_config(base_config, scale).with_l4(**override)
-        result = run_workload(workload, config, params)
-        points.append((override, result.weighted_speedup_over(ref), result))
-    return points
+    configs = [resolve_config(baseline, scale)] + [
+        resolve_config(base_config, scale).with_l4(**override)
+        for override in overrides
+    ]
+    results = run_configs(workload, configs, params, max_workers=jobs)
+    ref, rest = results[0], results[1:]
+    return [
+        (override, result.weighted_speedup_over(ref), result)
+        for override, result in zip(overrides, rest)
+    ]
 
 
 def threshold_sweep(

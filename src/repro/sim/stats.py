@@ -39,6 +39,27 @@ class LatencyHistogram:
         if latency > self.max:
             self.max = latency
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram into this one (returns self).
+
+        Worker processes each record their own job's latencies; the
+        campaign layer merges them into machine-level aggregates.  Both
+        histograms must share bucket bounds — merging differently
+        bucketed distributions would silently misbin.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
@@ -85,6 +106,22 @@ class BandwidthTracker:
         self._windows[cycle // self.window_cycles] = (
             self._windows.get(cycle // self.window_cycles, 0) + nbytes
         )
+
+    def merge(self, other: "BandwidthTracker") -> "BandwidthTracker":
+        """Fold another tracker into this one (returns self).
+
+        Windows are aligned by absolute cycle, so merging per-job trackers
+        from parallel workers gives the same series a single serial run
+        would have recorded.  Window sizes must match.
+        """
+        if self.window_cycles != other.window_cycles:
+            raise ValueError(
+                f"cannot merge trackers with different windows: "
+                f"{self.window_cycles} vs {other.window_cycles}"
+            )
+        for window, nbytes in other._windows.items():
+            self._windows[window] = self._windows.get(window, 0) + nbytes
+        return self
 
     def series(self) -> List[Tuple[int, float]]:
         """(window start cycle, bytes/cycle) sorted by time."""

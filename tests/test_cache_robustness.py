@@ -1,4 +1,5 @@
-"""Tests for disk-cache crash safety: atomic writes, quarantine, recovery."""
+"""Tests for disk-cache safety: sharded entries, atomic writes, quarantine,
+legacy-file migration, and concurrent-writer merge semantics."""
 
 from __future__ import annotations
 
@@ -11,6 +12,7 @@ from repro.harness.runner import (
     CacheEntryError,
     _result_from_dict,
     cached_run,
+    peek_cached,
     set_run_executor,
 )
 from repro.sim.engine import SimulationParams, run_workload
@@ -40,15 +42,37 @@ def _counting_executor(counter):
     return executor
 
 
-class TestAtomicSave:
-    def test_saved_cache_is_complete_json(self, isolated_cache):
+def _shard_dir(cache_path):
+    return cache_path.parent / ".sim_cache.d"
+
+
+def _entry_files(cache_path):
+    d = _shard_dir(cache_path)
+    return sorted(d.glob("*.json")) if d.is_dir() else []
+
+
+def _fresh_process(monkeypatch):
+    """Drop in-memory state as a newly exec'd process would see it."""
+    runner_mod._memory_cache.clear()
+    monkeypatch.setattr(runner_mod, "_disk_loaded", False)
+    monkeypatch.setattr(runner_mod, "_disk_store", {})
+
+
+class TestShardedSave:
+    def test_each_entry_is_its_own_complete_json_file(self, isolated_cache):
         cached_run("sphinx", "base", scale=65536, params=PARAMS)
-        data = json.loads(isolated_cache.read_text())
-        assert isinstance(data, dict) and len(data) == 1
+        files = _entry_files(isolated_cache)
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert set(payload) == {"key", "result"}
+        # and a second distinct run adds a second file, clobbering nothing
+        cached_run("sphinx", "tsi", scale=65536, params=PARAMS)
+        assert len(_entry_files(isolated_cache)) == 2
 
     def test_no_temp_files_left_behind(self, isolated_cache):
         cached_run("sphinx", "base", scale=65536, params=PARAMS)
         leftovers = list(isolated_cache.parent.glob("*.tmp"))
+        leftovers += list(_shard_dir(isolated_cache).glob("*.tmp"))
         assert leftovers == []
 
     def test_second_process_reads_back(self, isolated_cache, monkeypatch):
@@ -56,16 +80,84 @@ class TestAtomicSave:
         set_run_executor(_counting_executor(counter))
         cached_run("sphinx", "base", scale=65536, params=PARAMS)
         assert counter == [1]
-        # simulate a fresh process: drop in-memory state, keep the file
-        runner_mod._memory_cache.clear()
-        monkeypatch.setattr(runner_mod, "_disk_loaded", False)
-        monkeypatch.setattr(runner_mod, "_disk_store", {})
+        _fresh_process(monkeypatch)
         cached_run("sphinx", "base", scale=65536, params=PARAMS)
         assert counter == [1]  # served from disk, not re-simulated
 
+    def test_entry_written_by_concurrent_process_is_found(
+        self, isolated_cache, monkeypatch
+    ):
+        # Process A loaded (empty) disk state; process B then finished a
+        # run.  A's next lookup must find B's shard instead of
+        # re-simulating.
+        runner_mod._load_disk()
+        assert runner_mod._disk_store == {}
+        result = run_workload(
+            "sphinx", runner_mod.resolve_config("base", 65536), PARAMS
+        )
+        key = runner_mod._key("sphinx", "base", 65536, PARAMS)
+        disk_key = json.dumps(key)
+        runner_mod._store().write(disk_key, runner_mod._result_to_dict(result))
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        assert cached_run("sphinx", "base", scale=65536, params=PARAMS) == result
+        assert counter == []  # no re-simulation
+
+
+class TestConcurrentWriters:
+    def test_two_writers_merge_instead_of_clobbering(self, isolated_cache):
+        # Regression for the monolithic-cache race: two processes that
+        # each rewrote the whole store would last-writer-wins drop each
+        # other's entries.  Sharded entries must merge.
+        store_a = runner_mod._store()
+        store_b = runner_mod._store()
+        for i in range(5):
+            store_a.write(f"writer-a-{i}", {"workload": "a", "i": i})
+            store_b.write(f"writer-b-{i}", {"workload": "b", "i": i})
+        merged = runner_mod._store().read_all()
+        assert len(merged) == 10
+        assert merged["writer-a-3"] == {"workload": "a", "i": 3}
+        assert merged["writer-b-4"] == {"workload": "b", "i": 4}
+
+    def test_same_key_writers_leave_one_complete_entry(self, isolated_cache):
+        store = runner_mod._store()
+        for i in range(5):
+            store.write("shared-key", {"attempt": i})
+        assert store.read("shared-key") == {"attempt": 4}
+        assert len(_entry_files(isolated_cache)) == 1
+
+
+class TestMigration:
+    def _monolithic_payload(self):
+        result = run_workload(
+            "sphinx", runner_mod.resolve_config("base", 65536), PARAMS
+        )
+        key = runner_mod._key("sphinx", "base", 65536, PARAMS)
+        return result, {json.dumps(key): runner_mod._result_to_dict(result)}
+
+    def test_legacy_monolithic_cache_is_migrated_once(self, isolated_cache):
+        result, payload = self._monolithic_payload()
+        isolated_cache.write_text(json.dumps(payload))
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        assert cached_run("sphinx", "base", scale=65536, params=PARAMS) == result
+        assert counter == []  # migrated entry was honoured
+        assert not isolated_cache.exists()  # moved aside, not duplicated
+        assert isolated_cache.with_name(".sim_cache.json.migrated").exists()
+        assert len(_entry_files(isolated_cache)) == 1
+
+    def test_existing_shards_win_over_monolithic(self, isolated_cache):
+        _result, payload = self._monolithic_payload()
+        (disk_key, entry), = payload.items()
+        newer = dict(entry, cycles=entry["cycles"] + 1.0)
+        runner_mod._store().write(disk_key, newer)
+        isolated_cache.write_text(json.dumps(payload))
+        runner_mod._load_disk()
+        assert runner_mod._disk_store[disk_key]["cycles"] == newer["cycles"]
+
 
 class TestCorruptFileRecovery:
-    def test_truncated_file_is_quarantined(self, isolated_cache):
+    def test_truncated_legacy_file_is_quarantined(self, isolated_cache):
         isolated_cache.write_text('{"half-written entry": ')
         counter = []
         set_run_executor(_counting_executor(counter))
@@ -75,7 +167,7 @@ class TestCorruptFileRecovery:
         quarantine = isolated_cache.parent / ".sim_cache.corrupt.json"
         assert quarantine.exists()  # the evidence survives
 
-    def test_non_dict_payload_is_quarantined(self, isolated_cache):
+    def test_non_dict_legacy_payload_is_quarantined(self, isolated_cache):
         isolated_cache.write_text(json.dumps(["not", "a", "dict"]))
         counter = []
         set_run_executor(_counting_executor(counter))
@@ -83,26 +175,30 @@ class TestCorruptFileRecovery:
         assert counter == [1]
         assert (isolated_cache.parent / ".sim_cache.corrupt.json").exists()
 
-    def test_recovered_cache_works_after_quarantine(self, isolated_cache):
+    def test_recovered_cache_works_after_quarantine(self, isolated_cache, monkeypatch):
         isolated_cache.write_text("garbage")
-        cached_run("sphinx", "base", scale=65536, params=PARAMS)
-        # the rewritten cache must be healthy again
-        assert isinstance(json.loads(isolated_cache.read_text()), dict)
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        # the rewritten (sharded) cache must be healthy again
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        _fresh_process(monkeypatch)
+        assert cached_run("sphinx", "base", scale=65536, params=PARAMS) == result
+        assert counter == []
 
-    def test_concurrent_writers_never_corrupt_the_file(self, isolated_cache):
-        # Two "processes" interleave saves of different stores.  os.replace
-        # makes each write all-or-nothing: whoever lands last wins, but the
-        # file is complete JSON at every point in between.
-        for i in range(5):
-            runner_mod._disk_store.clear()
-            runner_mod._disk_store[f"writer-a-{i}"] = {"workload": "a"}
-            runner_mod._save_disk()
-            assert json.loads(isolated_cache.read_text())
-            runner_mod._disk_store.clear()
-            runner_mod._disk_store[f"writer-b-{i}"] = {"workload": "b"}
-            runner_mod._save_disk()
-            data = json.loads(isolated_cache.read_text())
-            assert list(data) == [f"writer-b-{i}"]
+    def test_torn_entry_file_is_quarantined_not_trusted(
+        self, isolated_cache, monkeypatch
+    ):
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        (entry_file,) = _entry_files(isolated_cache)
+        entry_file.write_text('{"key": "tor')  # simulated torn write
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        _fresh_process(monkeypatch)
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert result.workload == "sphinx"
+        assert counter == [1]  # re-simulated
+        quarantined = list(_shard_dir(isolated_cache).glob("*.corrupt"))
+        assert quarantined  # evidence kept
 
 
 class TestSchemaDrift:
@@ -128,6 +224,7 @@ class TestSchemaDrift:
     def test_drifted_entry_quarantined_and_resimulated(self, isolated_cache):
         bad = {"workload": "sphinx", "field_from_old_version": 42}
         disk_key = self._store_bad_entry(bad)
+        runner_mod._store().write(disk_key, bad)
         counter = []
         set_run_executor(_counting_executor(counter))
         result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
@@ -137,15 +234,35 @@ class TestSchemaDrift:
             (isolated_cache.parent / ".sim_cache.corrupt.json").read_text()
         )
         assert quarantined[disk_key] == bad  # preserved for inspection
-        # and the store no longer carries the bad entry
-        assert disk_key not in runner_mod._disk_store or (
-            runner_mod._disk_store[disk_key] != bad
-        )
+        # and neither the store nor the shard file carries the bad entry
+        assert runner_mod._disk_store.get(disk_key) != bad
+        assert runner_mod._store().read(disk_key) != bad
 
     def test_roundtrip_still_works(self, isolated_cache):
         result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
         restored = _result_from_dict(runner_mod._result_to_dict(result))
         assert restored == result
+
+
+class TestPeekAndSeed:
+    def test_peek_never_simulates(self, isolated_cache):
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        assert peek_cached("sphinx", "base", scale=65536, params=PARAMS) is None
+        assert counter == []
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert peek_cached("sphinx", "base", scale=65536, params=PARAMS) == result
+        assert counter == [1]
+
+    def test_seed_cache_persists_for_fresh_process(
+        self, isolated_cache, monkeypatch
+    ):
+        result = run_workload(
+            "sphinx", runner_mod.resolve_config("base", 65536), PARAMS
+        )
+        runner_mod.seed_cache("sphinx", "base", result, scale=65536, params=PARAMS)
+        _fresh_process(monkeypatch)
+        assert peek_cached("sphinx", "base", scale=65536, params=PARAMS) == result
 
 
 class TestFaultAwareKeys:

@@ -90,3 +90,41 @@ def test_fault_rate_flag_reaches_results(capsys):
     out = capsys.readouterr().out
     assert "retained@maxrate" in out
     assert "ecc_corrected" in out
+
+
+def test_zero_jobs_is_usage_error():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["fig13", "--jobs", "0"])
+    assert exc_info.value.code == 2
+
+
+def test_parallel_stdout_identical_to_serial(capsys):
+    assert main(["fig13", "--accesses", "100", "--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    clear_cache()
+    assert main(["fig13", "--accesses", "100", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr()
+    assert parallel.out == serial_out  # tables byte-identical
+    assert "jobs" in parallel.err  # progress went to stderr only
+
+
+def test_parallel_failure_names_job_drains_and_exits_3(capsys):
+    from repro.harness.runner import set_run_executor
+    from repro.sim.engine import run_workload
+
+    def doomed(workload, config, params=None, **kwargs):
+        if workload == "povray" and config.name == "dice":
+            raise RuntimeError("injected failure")
+        return run_workload(workload, config, params, **kwargs)
+
+    set_run_executor(doomed)
+    try:
+        assert main(["fig13", "--accesses", "100", "--jobs", "2"]) == 3
+    finally:
+        set_run_executor(None)
+    err = capsys.readouterr().err
+    assert "simulation failed for povray × dice" in err
+    assert "injected failure" in err
+    assert "drained" in err  # the rest of the campaign was not aborted
+    # drained-and-cached means a retry only repeats the one failure
+    assert main(["fig13", "--accesses", "100", "--jobs", "2"]) == 0

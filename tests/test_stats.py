@@ -104,6 +104,88 @@ class TestBandwidthTracker:
             BandwidthTracker().record(-1, 10)
 
 
+class TestLatencyHistogramMerge:
+    def test_merge_equals_single_stream(self):
+        combined = LatencyHistogram()
+        part_a, part_b = LatencyHistogram(), LatencyHistogram()
+        values_a = [1, 17, 300, 9000]
+        values_b = [5, 64, 64, 12000]
+        for v in values_a:
+            combined.record(v)
+            part_a.record(v)
+        for v in values_b:
+            combined.record(v)
+            part_b.record(v)
+        merged = part_a.merge(part_b)
+        assert merged is part_a  # fluent: returns self
+        assert merged.counts == combined.counts
+        assert merged.total == combined.total
+        assert merged.sum == combined.sum
+        assert merged.max == combined.max
+        assert merged.mean == pytest.approx(combined.mean)
+
+    def test_merge_into_empty_and_with_empty(self):
+        hist = LatencyHistogram()
+        hist.record(42)
+        empty = LatencyHistogram()
+        assert empty.merge(hist).total == 1
+        assert hist.merge(LatencyHistogram()).total == 1
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(10, 100)).merge(
+                LatencyHistogram(bounds=(10, 200)))
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(0, 50_000), max_size=80),
+        st.lists(st.integers(0, 50_000), max_size=80),
+    )
+    def test_merge_is_order_independent(self, values_a, values_b):
+        ab, ba = LatencyHistogram(), LatencyHistogram()
+        a1, b1 = LatencyHistogram(), LatencyHistogram()
+        for v in values_a:
+            a1.record(v)
+        for v in values_b:
+            b1.record(v)
+        for v in values_a + values_b:
+            ab.record(v)
+        for v in values_b + values_a:
+            ba.record(v)
+        merged = a1.merge(b1)
+        assert merged.counts == ab.counts == ba.counts
+        assert merged.sum == ab.sum
+        assert merged.max == ab.max
+
+
+class TestBandwidthTrackerMerge:
+    def test_merge_aligns_windows_by_absolute_cycle(self):
+        combined = BandwidthTracker(window_cycles=100)
+        part_a = BandwidthTracker(window_cycles=100)
+        part_b = BandwidthTracker(window_cycles=100)
+        for cycle, nbytes in ((10, 64), (150, 64), (210, 64)):
+            combined.record(cycle, nbytes)
+            part_a.record(cycle, nbytes)
+        for cycle, nbytes in ((20, 64), (160, 128)):
+            combined.record(cycle, nbytes)
+            part_b.record(cycle, nbytes)
+        merged = part_a.merge(part_b)
+        assert merged is part_a
+        assert merged.series() == combined.series()
+        assert merged.peak_bytes_per_cycle == combined.peak_bytes_per_cycle
+
+    def test_merge_with_empty_is_identity(self):
+        bw = BandwidthTracker(window_cycles=10)
+        bw.record(5, 100)
+        before = bw.series()
+        assert bw.merge(BandwidthTracker(window_cycles=10)).series() == before
+
+    def test_merge_rejects_mismatched_windows(self):
+        with pytest.raises(ValueError):
+            BandwidthTracker(window_cycles=10).merge(
+                BandwidthTracker(window_cycles=100))
+
+
 class TestAsciiChart:
     def test_renders_rows(self):
         out = ascii_bar_chart([("a", 1.0), ("bb", 2.0)], width=10)

@@ -34,6 +34,20 @@ class TestSweepL4:
         assert result.cip_accuracy is not None
 
 
+class TestParallelSweep:
+    def test_parallel_sweep_matches_serial(self):
+        # configs cross the process boundary pickled; results must come
+        # back in override order and bit-identical to the in-process run
+        overrides = [{"dice_threshold": 32}, {"dice_threshold": 40}]
+        serial = sweep_l4(
+            "sphinx", overrides, scale=65536, params=TINY, jobs=1
+        )
+        parallel = sweep_l4(
+            "sphinx", overrides, scale=65536, params=TINY, jobs=2
+        )
+        assert serial == parallel
+
+
 class TestThresholdSweep:
     def test_curve_endpoints_are_static_designs(self):
         curve = threshold_sweep(
