@@ -18,6 +18,7 @@ from repro.core.indexing import index_for
 from repro.dram.device import DRAMDevice
 from repro.dramcache.alloy import L4ReadResult, L4WriteResult
 from repro.dramcache.cset import CompressedSet, PairSizeCache, StoredLine
+from repro.obs.tracer import NULL_TRACER
 
 DECOMPRESSION_CYCLES = 2
 """FPC/BDI decompression is 1-5 cycles (Sec 4.2); charged on read hits."""
@@ -25,6 +26,10 @@ DECOMPRESSION_CYCLES = 2
 
 class CompressedDRAMCache:
     """Direct-mapped-frame compressed DRAM cache with one index scheme."""
+
+    # replaced with the run's tracer by the memory system when tracing is
+    # enabled; the class-level null means standalone caches trace nothing
+    tracer = NULL_TRACER
 
     def __init__(
         self,

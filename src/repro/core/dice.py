@@ -60,6 +60,8 @@ class DICECache(CompressedDRAMCache):
         self.write_predictions_correct = 0
         # read-path probe accounting
         self.second_accesses = 0
+        # reinstalls that moved a resident line between TSI and BAI
+        self.index_switches = 0
 
     # -- index selection -----------------------------------------------------
 
@@ -203,6 +205,12 @@ class DICECache(CompressedDRAMCache):
                     alternate, arrival, INVALIDATE_BYTES
                 )
                 accesses += 1
+                self.index_switches += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "dice.index_switch", "dice", arrival, sampled=True,
+                        line=line_addr, to_bai=used_bai,
+                    )
                 if stale.dirty and not dirty:
                     # Never lose the freshest data: merging a dirty stale
                     # copy with a clean re-install keeps the dirty bit.

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.config import DRAMOrganization
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,11 @@ class AccessResult:
 
 class DRAMDevice:
     """Channels + banks + address mapping for one DRAM pool."""
+
+    # replaced (with a per-pool category) by the memory system when tracing
+    # is enabled; the class-level null means standalone devices trace nothing
+    tracer = NULL_TRACER
+    trace_cat = "dram"
 
     def __init__(self, organization: DRAMOrganization) -> None:
         from repro.dram.channel import Channel
@@ -58,6 +64,14 @@ class DRAMDevice:
         bank = channel.banks[bank_idx]
         was_hit = bank.open_row == row
         finish = channel.access(bank_idx, row, arrival, nbytes)
+        if self.tracer.enabled:
+            # busy interval of this access on its channel/bank, as a span
+            self.tracer.span(
+                "dram.access", self.trace_cat, arrival,
+                max(1, finish - arrival), sampled=True,
+                channel=channel_idx, bank=bank_idx, row_hit=was_hit,
+                nbytes=nbytes,
+            )
         return AccessResult(
             finish_cycle=finish, latency=finish - arrival, row_hit=was_hit
         )

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.config import DRAMOrganization
 from repro.dram.bank import Bank
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -54,6 +55,9 @@ class SchedulerStats:
 
 class FRFCFSChannel:
     """One channel with FR-FCFS scheduling and bounded queues."""
+
+    # assign a run's tracer to see per-request service spans in the trace
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -161,6 +165,13 @@ class FRFCFSChannel:
                 self.stats.write_drains += 1
         else:
             self.stats.served_reads += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "dram.request", "dram.sched", request.arrival,
+                max(1, finish - request.arrival), sampled=True,
+                bank=request.bank, row_hit=was_hit,
+                is_write=request.is_write,
+            )
         return request
 
     def drain(self) -> List[Request]:
@@ -176,3 +187,28 @@ class FRFCFSChannel:
     @property
     def occupancy(self) -> Tuple[int, int]:
         return len(self.read_queue), len(self.write_queue)
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Publish this channel's counters into a metrics registry (pull
+        collector; the scheduler keeps its plain dataclass counters)."""
+
+        def _collect(reg) -> None:
+            stats = self.stats
+            reg.counter("dram.sched.served_reads", **labels).set(
+                stats.served_reads
+            )
+            reg.counter("dram.sched.served_writes", **labels).set(
+                stats.served_writes
+            )
+            reg.counter("dram.sched.row_hits", **labels).set(stats.row_hits)
+            reg.counter("dram.sched.write_drains", **labels).set(
+                stats.write_drains
+            )
+            reg.counter("dram.sched.queue_wait_cycles", **labels).set(
+                stats.total_queue_wait
+            )
+            reg.gauge("dram.sched.row_hit_rate", **labels).set(
+                stats.row_hit_rate
+            )
+
+        registry.add_collector(_collect)

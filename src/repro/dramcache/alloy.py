@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import DRAMCacheConfig, LINE_SIZE, TAD_TRANSFER_BYTES
 from repro.dram.device import DRAMDevice
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -43,6 +44,10 @@ class L4WriteResult:
 
 class AlloyCache:
     """Baseline uncompressed direct-mapped DRAM cache."""
+
+    # replaced with the run's tracer by the memory system when tracing is
+    # enabled; the class-level null means standalone caches trace nothing
+    tracer = NULL_TRACER
 
     def __init__(self, config: DRAMCacheConfig) -> None:
         if config.compressed:

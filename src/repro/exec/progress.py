@@ -15,7 +15,13 @@ from typing import Optional, TextIO
 
 @dataclass
 class ProgressSnapshot:
-    """One scheduler heartbeat, as handed to progress callbacks."""
+    """One scheduler heartbeat, as handed to progress callbacks.
+
+    ``cache_hit_pct`` and ``p50_wall_ms`` come from the scheduler's
+    metrics registry (``exec.jobs.*`` / ``exec.job.wall_ms``); they stay
+    None when the producer predates the registry, and the formatter then
+    omits their segments.
+    """
 
     done: int
     running: int
@@ -24,6 +30,8 @@ class ProgressSnapshot:
     cached: int = 0
     eta_seconds: Optional[float] = None
     label: str = ""
+    cache_hit_pct: Optional[float] = None
+    p50_wall_ms: Optional[float] = None
 
 
 def _fmt_eta(seconds: Optional[float]) -> str:
@@ -45,6 +53,10 @@ def format_progress(snap: ProgressSnapshot) -> str:
         f"{snap.failed} failed",
         f"eta {_fmt_eta(snap.eta_seconds)}",
     ]
+    if snap.cache_hit_pct is not None:
+        parts.append(f"cache {snap.cache_hit_pct:.0f}%")
+    if snap.p50_wall_ms is not None:
+        parts.append(f"p50 {snap.p50_wall_ms / 1000.0:.1f}s")
     line = " · ".join(parts)
     if snap.label:
         line += f" ({snap.label})"
@@ -89,11 +101,16 @@ class ProgressPrinter:
         if snap is None:
             return
         executed = snap.done - snap.cached
-        hit_pct = 100.0 * snap.cached / snap.total if snap.total else 100.0
-        print(
+        hit_pct = (
+            snap.cache_hit_pct
+            if snap.cache_hit_pct is not None
+            else (100.0 * snap.cached / snap.total if snap.total else 100.0)
+        )
+        line = (
             f"jobs: {snap.total} total · {snap.cached} from cache · "
             f"{executed} run · {snap.failed} failed "
-            f"(cache hits: {hit_pct:.0f}%)",
-            file=self.stream,
-            flush=True,
+            f"(cache hits: {hit_pct:.0f}%)"
         )
+        if snap.p50_wall_ms is not None:
+            line += f" · p50 {snap.p50_wall_ms / 1000.0:.1f}s/job"
+        print(line, file=self.stream, flush=True)

@@ -30,6 +30,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from pathlib import Path
+
+from repro import obs
 from repro.exec.job import Job
 from repro.exec.progress import ProgressSnapshot
 from repro.harness import runner as runner_mod
@@ -89,19 +92,50 @@ def _run_config_item(item) -> SimResult:
 
 
 class _Tracker:
+    """Progress accounting over a campaign-scoped metrics registry.
+
+    The registry (``exec.jobs.*`` counters, ``exec.job.wall_ms``
+    histogram) is the single source for the done/cached/failed counts,
+    the live cache-hit percentage, and the per-job p50 wall clock the
+    progress line shows; the optional exec tracer records the job
+    lifecycle (queued → running/retry → done) into ``*.exec.jsonl``.
+    """
+
     def __init__(
         self,
         total: int,
         cached: int,
         callback: Optional[Callable[[ProgressSnapshot], None]],
+        tracer=None,
     ) -> None:
         self.total = total
-        self.cached = cached
-        self.done = cached
-        self.failed = 0
         self.running = 0
         self.callback = callback
+        self.tracer = tracer if tracer is not None else obs.NULL_TRACER
+        self.registry = obs.MetricsRegistry()
+        self._done = self.registry.counter("exec.jobs.done")
+        self._cached = self.registry.counter("exec.jobs.cached")
+        self._failed = self.registry.counter("exec.jobs.failed")
+        self._retried = self.registry.counter("exec.jobs.retried")
+        self._wall_ms = self.registry.histogram("exec.job.wall_ms")
+        self._done.inc(cached)
+        self._cached.inc(cached)
         self._start = time.monotonic()
+
+    @property
+    def done(self) -> int:
+        return self._done.value
+
+    @property
+    def cached(self) -> int:
+        return self._cached.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    def _now_us(self) -> int:
+        return int((time.monotonic() - self._start) * 1e6)
 
     def _eta(self) -> Optional[float]:
         executed = self.done + self.failed - self.cached
@@ -114,6 +148,7 @@ class _Tracker:
     def emit(self, label: str = "") -> None:
         if self.callback is None:
             return
+        finished = self.done + self.failed
         self.callback(
             ProgressSnapshot(
                 done=self.done,
@@ -123,15 +158,56 @@ class _Tracker:
                 cached=self.cached,
                 eta_seconds=self._eta(),
                 label=label,
+                cache_hit_pct=(
+                    100.0 * self.cached / finished if finished else None
+                ),
+                p50_wall_ms=(
+                    float(self._wall_ms.percentile(50))
+                    if self._wall_ms.total
+                    else None
+                ),
             )
         )
 
     def step(self, outcome: JobOutcome) -> None:
+        label = outcome.job.describe()
         if outcome.ok:
-            self.done += 1
+            self._done.inc()
         else:
-            self.failed += 1
-        self.emit(outcome.job.describe())
+            self._failed.inc()
+        manifest = getattr(outcome.result, "manifest", None) or {}
+        if outcome.ok and outcome.source == "run":
+            elapsed = manifest.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                self._wall_ms.record(max(0, int(elapsed * 1000)))
+            if isinstance(manifest.get("attempts"), int) and manifest["attempts"] > 1:
+                self._retried.inc(manifest["attempts"] - 1)
+        if self.tracer.enabled:
+            ts = self._now_us()
+            if not outcome.ok:
+                self.tracer.instant(
+                    "job.failed", "exec", ts, job=label, error=outcome.error
+                )
+            elif outcome.source == "cache":
+                self.tracer.instant("job.cached", "exec", ts, job=label)
+            else:
+                elapsed = manifest.get("elapsed_s")
+                dur = (
+                    max(1, int(elapsed * 1e6))
+                    if isinstance(elapsed, (int, float))
+                    else 1
+                )
+                attempts = manifest.get("attempts")
+                if isinstance(attempts, int) and attempts > 1:
+                    self.tracer.instant(
+                        "job.retried", "exec", max(0, ts - dur),
+                        job=label, attempts=attempts,
+                    )
+                self.tracer.span(
+                    "job.done", "exec", max(0, ts - dur), dur, job=label,
+                    source=outcome.source,
+                )
+        self.emit(label)
 
 
 # -- the scheduler -----------------------------------------------------------
@@ -165,16 +241,51 @@ def run_jobs(
         else:
             pending.append(i)
 
-    tracker = _Tracker(len(jobs), cached=len(jobs) - len(pending), callback=progress)
+    tracker = _Tracker(
+        len(jobs),
+        cached=len(jobs) - len(pending),
+        callback=progress,
+        tracer=_exec_tracer(),
+    )
+    if tracker.tracer.enabled:
+        for i, job in enumerate(jobs):
+            if outcomes[i] is not None:
+                tracker.tracer.instant(
+                    "job.cached", "exec", 0, job=job.describe()
+                )
+            else:
+                tracker.tracer.instant(
+                    "job.queued", "exec", 0, job=job.describe()
+                )
     workers = min(resolve_jobs(max_workers), max(1, len(pending)))
 
-    if not pending:
-        tracker.emit()
-    elif workers <= 1:
-        _run_serial(jobs, pending, outcomes, policy, tracker)
-    else:
-        _run_pool(jobs, pending, outcomes, policy, tracker, workers)
+    try:
+        if not pending:
+            tracker.emit()
+        elif workers <= 1:
+            _run_serial(jobs, pending, outcomes, policy, tracker)
+        else:
+            _run_pool(jobs, pending, outcomes, policy, tracker, workers)
+    finally:
+        tracker.tracer.close()
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _exec_tracer():
+    """The job-lifecycle tracer (``<trace>.exec.jsonl``), or the shared
+    null when ``--trace`` / ``REPRO_TRACE`` is not configured.
+
+    Exec events use microseconds of wall clock since campaign start as
+    ``ts`` — Chrome's native unit — so the lifecycle renders on a real
+    timeline next to the per-run simulated-cycle traces.
+    """
+    trace_path, every = obs.trace_settings()
+    if trace_path is None:
+        return obs.NULL_TRACER
+    base = Path(trace_path)
+    suffix = base.suffix if base.suffix else ".jsonl"
+    path = base.with_name(f"{base.stem}.exec{suffix}")
+    return obs.Tracer(path, every=every, meta={"scope": "exec"})
 
 
 def _record(outcomes, i, job, result, error) -> JobOutcome:

@@ -128,12 +128,20 @@ def run_with_retry(
     for attempt in range(1, policy.attempts + 1):
         try:
             if policy.timeout is not None:
-                return _call_with_timeout(fn, args, kwargs, policy.timeout)
-            return fn(*args, **kwargs)
+                outcome = _call_with_timeout(fn, args, kwargs, policy.timeout)
+            else:
+                outcome = fn(*args, **kwargs)
         except (SimulationTimeout, Exception) as exc:  # noqa: B014
             last_error = exc
             if attempt < policy.attempts:
                 sleep(policy.backoff(attempt))
+        else:
+            # Provenance: how many attempts this result actually took
+            # (surfaced by `repro manifest show` and the exec tracer).
+            manifest = getattr(outcome, "manifest", None)
+            if isinstance(manifest, dict):
+                manifest["attempts"] = attempt
+            return outcome
     raise SimulationFailed(
         f"{getattr(fn, '__name__', fn)!s} failed after "
         f"{policy.attempts} attempt(s): {last_error}"

@@ -7,6 +7,9 @@ Usage::
     python -m repro.harness.cli table4 --accesses 8000
     python -m repro.harness.cli faults --fault-rate 3e13 --ecc secded
     python -m repro.harness.cli all --timeout 900 --retries 2 --jobs 8
+    python -m repro.harness.cli fig10 --trace /tmp/dice-trace.jsonl
+    python -m repro.harness.cli trace summarize /tmp/dice-trace.jsonl
+    python -m repro.harness.cli manifest show mcf dice
 
 Results are cached on disk, so regenerating a second figure that shares
 configurations with the first is nearly instant.  ``all`` checkpoints its
@@ -88,14 +91,88 @@ def _prefetch(
     return EXIT_SIM_FAILURE
 
 
+def _trace_command(argv: List[str]) -> int:
+    """``repro trace summarize PATH`` — aggregate a recorded event trace."""
+    import repro.obs as obs
+
+    parser = argparse.ArgumentParser(prog="repro.harness.cli trace")
+    parser.add_argument("action", choices=["summarize"])
+    parser.add_argument("path", help="JSONL trace written by --trace")
+    args = parser.parse_args(argv)
+    try:
+        summary = obs.summarize_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(obs.format_summary(summary))
+    return EXIT_OK
+
+
+def _manifest_command(argv: List[str]) -> int:
+    """``repro manifest show WORKLOAD CONFIG`` — provenance of a cached run."""
+    import json
+
+    import repro.obs as obs
+    from repro.harness.runner import DEFAULT_ACCESSES, peek_cached
+
+    parser = argparse.ArgumentParser(prog="repro.harness.cli manifest")
+    parser.add_argument("action", choices=["show"])
+    parser.add_argument("workload", nargs="?")
+    parser.add_argument("config", nargs="?")
+    parser.add_argument("--accesses", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--fault-rate", type=float, default=0.0)
+    parser.add_argument("--ecc", choices=SCHEMES, default="secded")
+    parser.add_argument(
+        "--shard",
+        default=None,
+        help="read one cache-shard JSON file directly instead of a lookup",
+    )
+    args = parser.parse_args(argv)
+    if args.shard is not None:
+        try:
+            entry = json.loads(open(args.shard).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read shard: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(obs.format_manifest(entry.get("manifest")))
+        return EXIT_OK
+    if not args.workload or not args.config:
+        parser.error("manifest show needs WORKLOAD CONFIG (or --shard PATH)")
+    params = SimulationParams(
+        accesses_per_core=args.accesses or DEFAULT_ACCESSES,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        ecc=args.ecc,
+    )
+    result = peek_cached(args.workload, args.config, params=params)
+    if result is None:
+        print(
+            f"no cached result for {args.workload} × {args.config} at these "
+            f"parameters (run it first)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    print(obs.format_manifest(result.manifest))
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # observability subcommands, dispatched before experiment parsing
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
+    if argv and argv[0] == "manifest":
+        return _manifest_command(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
         description="Regenerate DICE (ISCA 2017) figures and tables.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment key (see `list`), or `all`, or `list`",
+        help="experiment key (see `list`), or `all`, or `list`, or the "
+        "`trace summarize` / `manifest show` observability subcommands",
     )
     parser.add_argument(
         "--accesses",
@@ -141,7 +218,36 @@ def main(argv=None) -> int:
         action="store_true",
         help="ignore a previous `all` campaign checkpoint and start over",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured event trace (JSONL + Chrome trace_event "
+        "companion) for every simulation this command executes",
+    )
+    parser.add_argument(
+        "--trace-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample 1-in-N high-frequency trace events (default 1)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="export the per-run metrics registry as JSON "
+        "(implied next to --trace output when only --trace is given)",
+    )
     args = parser.parse_args(argv)
+    if args.trace_every is not None and args.trace_every < 1:
+        parser.error("--trace-every must be >= 1")
+    if args.trace or args.trace_every or args.metrics:
+        import repro.obs as obs
+
+        obs.configure(
+            trace=args.trace, every=args.trace_every, metrics=args.metrics
+        )
 
     if args.experiment == "list":
         for key, (title, _fn) in EXPERIMENTS.items():

@@ -54,6 +54,23 @@ class ResilienceStats:
     pair_blast_events: int = 0
     faults: List[Fault] = field(default_factory=list)
 
+    def reset(self) -> None:
+        """Zero every counter in place (the warmup-boundary stats reset).
+
+        Only the *accounting* resets — planted stuck sites and the fault
+        timeline are injector state and keep firing; post-warmup windows
+        simply stop inheriting warmup-era counts.
+        """
+        self.faults_injected = 0
+        self.lines_corrupted = 0
+        self.ecc_corrected = 0
+        self.ecc_detected_refetches = 0
+        self.ecc_detected_invalidations = 0
+        self.silent_corruptions = 0
+        self.stuck_sites_planted = 0
+        self.pair_blast_events = 0
+        self.faults.clear()
+
 
 class FaultInjector:
     """Seeded, deterministic source of DRAM-cache bit errors.

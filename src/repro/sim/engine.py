@@ -10,9 +10,11 @@ stand-in for out-of-order overlap (bounded memory-level parallelism).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.config import SystemConfig
 from repro.sim.energy import EnergyParams, total_energy_nj
 from repro.sim.metrics import SimResult
@@ -98,10 +100,17 @@ def run_workload(
 ) -> SimResult:
     """Simulate one workload on one machine configuration."""
     params = params or SimulationParams()
+    run_obs = obs.begin_run(f"{workload}x{config.name}")
+    tracer = run_obs.tracer
+    started = time.perf_counter()
     generators = _build_generators(workload, config, params)
     system = MemorySystem(
-        config, _DataRouter(generators), fault_injector=_build_injector(config, params)
+        config,
+        _DataRouter(generators),
+        fault_injector=_build_injector(config, params),
+        obs=run_obs,
     )
+    tracer.set_phase("warmup")
 
     num_cores = config.core.num_cores
     ipc = config.core.base_ipc
@@ -137,6 +146,7 @@ def run_workload(
     capacity_samples: List[int] = []
     accesses_since_sample = 0
     stats_reset_done = False
+    reset_cycle = 0
 
     while heap:
         now, core = heapq.heappop(heap)
@@ -164,6 +174,15 @@ def run_workload(
         if not stats_reset_done and all(w is not None for w in warm_times):
             system.reset_stats()
             stats_reset_done = True
+            reset_cycle = int(max(w for w in warm_times if w is not None))
+            if tracer.enabled:
+                tracer.span(
+                    "sim.warmup", "sim", 0, max(1, reset_cycle),
+                    accesses=sum(warmups),
+                )
+            # events after this carry phase="measure", so a trace replay
+            # can reconstruct the same window SimResult reports
+            tracer.set_phase("measure")
 
         if any(e is None for e in end_times):
             heapq.heappush(heap, (times[core], core))
@@ -225,6 +244,17 @@ def run_workload(
         result.ecc_corrected = stats.ecc_corrected
         result.ecc_detected_refetches = stats.ecc_detected_refetches
         result.silent_corruptions = stats.silent_corruptions
+    result.manifest = obs.build_manifest(
+        workload, config, params, elapsed_s=time.perf_counter() - started
+    )
+    if tracer.enabled:
+        end_cycle = int(max(e for e in end_times if e is not None))
+        tracer.span(
+            "sim.measure", "sim", reset_cycle,
+            max(1, end_cycle - reset_cycle),
+            instructions=window_insts,
+        )
+    obs.finish_run(run_obs, result.manifest)
     return result
 
 
@@ -244,7 +274,10 @@ def run_trace(
     with untouched memory reading as zeros.
     """
     line_data = getattr(trace, "line_data", lambda _addr: bytes(64))
-    system = MemorySystem(config, line_data)
+    run_obs = obs.begin_run(f"{name}x{config.name}")
+    tracer = run_obs.tracer
+    started = time.perf_counter()
+    system = MemorySystem(config, line_data, obs=run_obs)
     ipc = config.core.base_ipc
     mlp = config.core.mlp
 
@@ -252,20 +285,23 @@ def run_trace(
     if not accesses:
         raise ValueError("trace is empty")
     warmup = int(len(accesses) * warmup_fraction)
-    time = 0.0
+    tracer.set_phase("warmup" if warmup > 0 else "measure")
+    now = 0.0
     insts = 0
     warm_time = 0.0
     warm_insts = 0
     for i, access in enumerate(accesses):
         if i == warmup and warmup > 0:
-            warm_time, warm_insts = time, insts
+            warm_time, warm_insts = now, insts
             system.reset_stats()
-        t = time + access.inst_gap / ipc
+            tracer.set_phase("measure")
+        t = now + access.inst_gap / ipc
         finish = system.handle_access(access, int(t))
-        time = t + max(0.0, (finish - t) / mlp)
+        now = t + max(0.0, (finish - t) / mlp)
         insts += access.inst_gap
+    time_end = now
 
-    cycles = max(1.0, time - warm_time)
+    cycles = max(1.0, time_end - warm_time)
     window_insts = insts - warm_insts
     l4 = system.l4
     energy = total_energy_nj(
@@ -276,7 +312,7 @@ def run_trace(
         system.memory.device.total_bytes_transferred,
         energy_params,
     )
-    return SimResult(
+    result = SimResult(
         workload=name,
         config_name=config.name,
         cycles=cycles,
@@ -294,3 +330,8 @@ def run_trace(
         l3_bonus_installs=system.hierarchy.bonus_installs,
         l3_bonus_hits=system.hierarchy.bonus_hits,
     )
+    result.manifest = obs.build_manifest(
+        name, config, elapsed_s=time.perf_counter() - started
+    )
+    obs.finish_run(run_obs, result.manifest)
+    return result

@@ -33,13 +33,18 @@ class SimResult:
     index_distribution: Optional[tuple] = None  # (invariant, tsi, bai)
     l3_bonus_installs: int = 0
     l3_bonus_hits: int = 0
-    # resilience counters (all zero on fault-free runs; whole-run totals,
-    # since fault exposure accrues across warmup too)
+    # resilience counters (all zero on fault-free runs; like every other
+    # counter they cover the post-warmup measurement window — the stats
+    # reset at the warmup boundary clears warmup fault exposure too)
     faults_injected: int = 0
     ecc_corrected: int = 0
     ecc_detected_refetches: int = 0
     silent_corruptions: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
+    # run provenance (repro.obs.manifest): config digest, seed, git SHA,
+    # host, wall clock.  compare=False — two runs of the same simulation
+    # are the same *result* even though they are different *executions*.
+    manifest: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def ipc(self) -> float:

@@ -39,6 +39,13 @@ class LatencyHistogram:
         if latency > self.max:
             self.max = latency
 
+    def reset(self) -> None:
+        """Zero every bucket in place (references stay valid)."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0
+        self.max = 0
+
     def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
         """Fold another histogram into this one (returns self).
 
@@ -79,6 +86,44 @@ class LatencyHistogram:
                 return self.bounds[i] if i < len(self.bounds) else self.max
         return self.max
 
+    def quantiles(self) -> Dict[str, int]:
+        """The tail summary a latency distribution is usually asked for."""
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (``metrics.json``, cache shards).
+
+        Includes the derived ``quantiles`` block for readers;
+        :meth:`from_dict` ignores it, so the round trip is exact.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "max": self.max,
+            "quantiles": self.quantiles(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "LatencyHistogram":
+        hist = cls(bounds=tuple(d["bounds"]))
+        counts = [int(c) for c in d["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"counts length {len(counts)} does not match "
+                f"{len(hist.bounds)} bounds"
+            )
+        hist.counts = counts
+        hist.total = int(d["total"])
+        hist.sum = int(d["sum"])
+        hist.max = int(d["max"])
+        return hist
+
     def rows(self) -> List[Tuple[str, int, float]]:
         """(label, count, fraction) per bucket, for table rendering."""
         labels = []
@@ -106,6 +151,27 @@ class BandwidthTracker:
         self._windows[cycle // self.window_cycles] = (
             self._windows.get(cycle // self.window_cycles, 0) + nbytes
         )
+
+    def reset(self) -> None:
+        """Drop every window in place (references stay valid)."""
+        self._windows.clear()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot; ``windows`` is a list of (index, bytes)
+        pairs because JSON objects cannot key on integers."""
+        return {
+            "window_cycles": self.window_cycles,
+            "windows": [[w, b] for w, b in sorted(self._windows.items())],
+            "peak_bytes_per_cycle": self.peak_bytes_per_cycle,
+            "mean_bytes_per_cycle": self.mean_bytes_per_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "BandwidthTracker":
+        tracker = cls(window_cycles=int(d["window_cycles"]))
+        for window, nbytes in d["windows"]:
+            tracker._windows[int(window)] = int(nbytes)
+        return tracker
 
     def merge(self, other: "BandwidthTracker") -> "BandwidthTracker":
         """Fold another tracker into this one (returns self).

@@ -20,10 +20,10 @@ from repro.dram.mainmemory import MainMemory
 from repro.dramcache.alloy import AlloyCache, L4ReadResult
 from repro.dramcache.mapi import MAPIPredictor
 from repro.dramcache.scc import SCCDRAMCache
+from repro.obs import RunObservability
 from repro.resilience.ecc import CORRECTED, DETECTED
 from repro.resilience.injector import FaultInjector
 from repro.sim.prefetch import prefetch_target
-from repro.sim.stats import BandwidthTracker, LatencyHistogram
 from repro.workloads.base import Access
 
 DataGenerator = Callable[[int], bytes]
@@ -62,6 +62,7 @@ class MemorySystem:
         config: SystemConfig,
         data_generator: DataGenerator,
         fault_injector: Optional[FaultInjector] = None,
+        obs: Optional[RunObservability] = None,
     ) -> None:
         self.config = config
         self.hierarchy = OnChipHierarchy(config.l3)
@@ -69,11 +70,45 @@ class MemorySystem:
         self.memory = MainMemory(config.memory, data_generator)
         self.mapi = MAPIPredictor()
         self.fault_injector = fault_injector
-        self.demand_reads = 0
-        self.prefetch_issued = 0
-        self.wasted_parallel_probes = 0
-        self.demand_latency = LatencyHistogram()
-        self.l4_bandwidth = BandwidthTracker()
+        # Observability: the tracer is consulted (guarded, so the disabled
+        # singleton is never even called on the hot path) and the registry
+        # owns this system's push-style instruments.  Components with their
+        # own fast plain-int counters publish through the pull collector.
+        self.obs = obs if obs is not None else RunObservability.disabled()
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
+        self._demand_reads = self.metrics.counter("sim.demand.reads")
+        self._prefetch_issued = self.metrics.counter("sim.prefetch.issued")
+        self._wasted_parallel_probes = self.metrics.counter(
+            "sim.mapi.wasted_probes"
+        )
+        self.demand_latency = self.metrics.histogram(
+            "sim.demand.latency_cycles"
+        )
+        self.l4_bandwidth = self.metrics.tracker("sim.l4.bandwidth")
+        self.metrics.add_collector(self._collect_metrics)
+        if self.tracer.enabled:
+            # hand the run's tracer down to the timing devices (instance
+            # attributes shadow the class-level NULL_TRACER)
+            self.l4.tracer = self.tracer
+            self.l4.device.tracer = self.tracer
+            self.l4.device.trace_cat = "dram.l4"
+            self.memory.device.tracer = self.tracer
+            self.memory.device.trace_cat = "dram.mem"
+
+    # registry-backed counters, exposed as the plain ints tests and the
+    # harness have always read
+    @property
+    def demand_reads(self) -> int:
+        return self._demand_reads.value
+
+    @property
+    def prefetch_issued(self) -> int:
+        return self._prefetch_issued.value
+
+    @property
+    def wasted_parallel_probes(self) -> int:
+        return self._wasted_parallel_probes.value
 
     # -- public entry points -------------------------------------------------
 
@@ -123,12 +158,25 @@ class MemorySystem:
         return finish
 
     def _miss_fill_inner(self, access: Access, now: int) -> int:
-        self.demand_reads += 1
+        self._demand_reads.inc()
         line = access.line_addr
         t = now + self.config.l3.latency_cycles
         predicted_miss = self.mapi.predict_miss(access.pc)
 
         result = self.l4.read(line, t, access.pc)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Emitted before fault filtering so the event stream replays to
+            # exactly the L4-internal hit/miss accounting.
+            tracer.instant(
+                "l4.read", "l4", t, sampled=True,
+                kind="demand", hit=result.hit, line=line,
+            )
+            if predicted_miss == result.hit:
+                tracer.instant(
+                    "mapi.mispredict", "mapi", t, sampled=True,
+                    predicted_miss=predicted_miss, hit=result.hit,
+                )
         self.l4_bandwidth.record(t, result.accesses * 80)
         if self.fault_injector is not None and result.hit:
             # Narrow resilience hook: on fault-free runs the injector is
@@ -139,7 +187,7 @@ class MemorySystem:
             if predicted_miss:
                 # MAP-I launched a useless memory read in parallel.
                 self.memory.read(line, t)
-                self.wasted_parallel_probes += 1
+                self._wasted_parallel_probes.inc()
             self._install_l3(line, result.data, now=result.finish_cycle)
             for extra_addr, extra_data in result.extra_lines:
                 self._install_l3_bonus(extra_addr, extra_data)
@@ -180,6 +228,13 @@ class MemorySystem:
         bit_errors = injector.bit_errors_for_read(set_index, now)
         if bit_errors == 0:
             return result
+        if self.tracer.enabled:
+            # faults are rare lifecycle events: never sampled out
+            self.tracer.instant(
+                "resilience.fault", "resilience", now,
+                set_index=set_index, bits=bit_errors,
+                verdict=injector.verdict(bit_errors),
+            )
 
         # A fault strikes the physical frame.  If the demand line is
         # pair-compressed there, its buddy shares the tag and bases, so the
@@ -257,8 +312,15 @@ class MemorySystem:
         target = prefetch_target(self.config.l3_prefetch, line_addr)
         if target is None or self.hierarchy.l3.contains(target):
             return
-        self.prefetch_issued += 1
+        self._prefetch_issued.inc()
         result = self.l4.read(target, now, pc=0)
+        if self.tracer.enabled:
+            # prefetch probes hit the same L4 counters as demand reads, so
+            # the replayable event stream must cover them too
+            self.tracer.instant(
+                "l4.read", "l4", now, sampled=True,
+                kind="prefetch", hit=result.hit, line=target,
+            )
         if result.hit:
             self._install_l3_bonus(target, result.data)
         # prefetch L4 misses are dropped: no memory fetch, bandwidth only
@@ -266,11 +328,72 @@ class MemorySystem:
     # -- stats -------------------------------------------------------------------
 
     def reset_stats(self) -> None:
+        """Open the measurement window: zero every counter the run reports.
+
+        Resets in place — components hold references to registry-owned
+        instruments, and those references must survive.  The resilience
+        counters reset here too, so post-warmup windows never inherit
+        warmup fault exposure (the injector's planted stuck sites and
+        timeline are state, not accounting, and keep firing).
+        """
         self.hierarchy.reset_stats()
         self.l4.reset_stats()
         self.memory.reset_stats()
-        self.demand_reads = 0
-        self.prefetch_issued = 0
-        self.wasted_parallel_probes = 0
-        self.demand_latency = LatencyHistogram()
-        self.l4_bandwidth = BandwidthTracker()
+        if self.fault_injector is not None:
+            self.fault_injector.stats.reset()
+        self.metrics.reset()
+
+    # -- metrics export -----------------------------------------------------------
+
+    def _collect_metrics(self, registry) -> None:
+        """Pull collector: publish component-internal counters into the
+        registry at export time (the components keep their fast plain-int
+        counters on the hot path)."""
+        l4 = self.l4
+        registry.counter("sim.l4.read_hits").set(l4.read_hits)
+        registry.counter("sim.l4.read_misses").set(l4.read_misses)
+        registry.counter("sim.l4.installs").set(l4.installs)
+        registry.gauge("sim.l4.hit_rate").set(l4.hit_rate)
+        registry.counter("sim.l4.device_accesses").set(
+            l4.device.total_accesses
+        )
+        registry.counter("sim.l4.device_bytes").set(
+            l4.device.total_bytes_transferred
+        )
+        registry.counter("sim.mem.device_accesses").set(
+            self.memory.device.total_accesses
+        )
+        registry.counter("sim.mem.device_bytes").set(
+            self.memory.device.total_bytes_transferred
+        )
+        registry.gauge("sim.l3.hit_rate").set(self.hierarchy.hit_rate)
+        registry.counter("sim.l3.bonus_installs").set(
+            self.hierarchy.bonus_installs
+        )
+        registry.counter("sim.l3.bonus_hits").set(self.hierarchy.bonus_hits)
+        registry.counter("sim.mapi.predictions").set(self.mapi.predictions)
+        registry.counter("sim.mapi.correct").set(self.mapi.correct)
+        registry.gauge("sim.mapi.accuracy").set(self.mapi.accuracy)
+        cip = getattr(l4, "cip", None)
+        if cip is not None:
+            registry.counter("sim.cip.lookups").set(cip.lookups)
+            registry.counter("sim.cip.correct").set(cip.correct)
+            registry.gauge("sim.cip.accuracy").set(cip.accuracy)
+        for name in (
+            "installs_invariant", "installs_tsi", "installs_bai",
+            "second_accesses", "index_switches",
+        ):
+            value = getattr(l4, name, None)
+            if value is not None:
+                registry.counter(f"sim.dice.{name}").set(value)
+        if self.fault_injector is not None:
+            stats = self.fault_injector.stats
+            for name in (
+                "faults_injected", "lines_corrupted", "ecc_corrected",
+                "ecc_detected_refetches", "ecc_detected_invalidations",
+                "silent_corruptions", "stuck_sites_planted",
+                "pair_blast_events",
+            ):
+                registry.counter(f"sim.resilience.{name}").set(
+                    getattr(stats, name)
+                )

@@ -186,6 +186,81 @@ class TestBandwidthTrackerMerge:
                 BandwidthTracker(window_cycles=100))
 
 
+class TestSerialization:
+    def test_histogram_round_trip(self):
+        hist = LatencyHistogram(bounds=(10, 100, 1000))
+        for value in (3, 30, 300, 3000, 30):
+            hist.record(value)
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone.bounds == hist.bounds
+        assert clone.counts == hist.counts
+        assert clone.total == hist.total
+        assert clone.sum == hist.sum
+        assert clone.max == hist.max
+
+    def test_histogram_to_dict_is_json_ready(self):
+        import json
+
+        hist = LatencyHistogram()
+        hist.record(42)
+        payload = json.loads(json.dumps(hist.to_dict()))
+        assert payload["total"] == 1
+        assert payload["quantiles"]["p50"] == 64
+
+    def test_histogram_from_dict_rejects_bad_counts(self):
+        hist = LatencyHistogram(bounds=(10, 100))
+        d = hist.to_dict()
+        d["counts"] = [0, 0]  # needs len(bounds)+1 == 3
+        with pytest.raises(ValueError, match="counts length"):
+            LatencyHistogram.from_dict(d)
+
+    def test_quantiles_helper(self):
+        hist = LatencyHistogram(bounds=(10, 100, 1000))
+        for _ in range(90):
+            hist.record(5)
+        for _ in range(9):
+            hist.record(50)
+        hist.record(5000)
+        q = hist.quantiles()
+        assert q["p50"] == 10
+        assert q["p95"] == 100
+        assert q["p99"] == 100
+
+    def test_tracker_round_trip(self):
+        bw = BandwidthTracker(window_cycles=100)
+        bw.record(10, 80)
+        bw.record(250, 160)
+        clone = BandwidthTracker.from_dict(bw.to_dict())
+        assert clone.window_cycles == bw.window_cycles
+        assert clone.series() == bw.series()
+
+    def test_tracker_to_dict_includes_derived_rates(self):
+        bw = BandwidthTracker(window_cycles=10)
+        bw.record(0, 100)
+        payload = bw.to_dict()
+        assert payload["peak_bytes_per_cycle"] == pytest.approx(10.0)
+        assert payload["windows"] == [[0, 100]]
+
+
+class TestReset:
+    def test_histogram_reset_in_place(self):
+        hist = LatencyHistogram()
+        hist.record(99)
+        hist.reset()
+        assert hist.total == 0 and hist.sum == 0 and hist.max == 0
+        assert all(c == 0 for c in hist.counts)
+        hist.record(7)  # still usable after reset
+        assert hist.total == 1
+
+    def test_tracker_reset_in_place(self):
+        bw = BandwidthTracker(window_cycles=10)
+        bw.record(5, 50)
+        bw.reset()
+        assert bw.series() == []
+        bw.record(5, 50)
+        assert bw.series() == [(0, 5.0)]
+
+
 class TestAsciiChart:
     def test_renders_rows(self):
         out = ascii_bar_chart([("a", 1.0), ("bb", 2.0)], width=10)
