@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check bench bench-parallel report examples clean
+.PHONY: install test check bench bench-parallel bench-core report flight examples clean
 
 install:
 	python setup.py develop
@@ -20,8 +20,17 @@ bench:
 bench-parallel:
 	PYTHONPATH=src python scripts/bench_parallel.py
 
+# Hot-path throughput per design config; writes BENCH_core.json.
+bench-core:
+	PYTHONPATH=src python scripts/bench_core.py --min-throughput 2000
+
 report:
 	python -m repro.analysis.report EXPERIMENTS.md
+
+# Fidelity scoreboard + drift check against FIDELITY_baseline.json.
+flight:
+	PYTHONPATH=src python -m repro.harness.cli report --flight \
+		--check --accesses 300 --out FLIGHT_report.md
 
 examples:
 	python examples/quickstart.py
@@ -32,5 +41,7 @@ clean:
 	rm -f .sim_cache.json .sim_cache.json.migrated .sim_cache.corrupt.json
 	rm -rf .sim_cache.d
 	rm -f .campaign_checkpoint.json BENCH_parallel.json
+	rm -f .campaign_flight.json BENCH_core.json FLIGHT_report.md FLIGHT_report.html
+	rm -f *.prof.json *.collapsed.txt
 	rm -f test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -18,10 +18,14 @@ Environment knobs:
 * ``REPRO_DISK_CACHE=0`` — disable the on-disk result cache.
 * ``REPRO_JOBS``     — parallel warm-up worker processes (default: CPU
   count; ``1`` disables the pool and restores fully serial behaviour).
+* ``REPRO_FIDELITY_OUT`` — write the fidelity scoreboard of the collected
+  experiments (as a ``FIDELITY_baseline.json``-shaped document) to this
+  path when the session finishes.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 import pytest
@@ -89,6 +93,39 @@ def parallel_warmup(request, sim_params):
             f"its benchmark will retry serially",
             file=sys.stderr,
         )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fidelity_export(request, sim_params):
+    """After the session, export the collected experiments' scoreboard.
+
+    Gated on ``REPRO_FIDELITY_OUT`` so ordinary benchmark runs pay
+    nothing.  Every simulation is already cached by the time the session
+    ends, so scoring replays from the cache.
+    """
+    yield
+    out = os.environ.get("REPRO_FIDELITY_OUT")
+    if not out:
+        return
+    modules = {
+        getattr(getattr(item, "module", None), "__name__", "")
+        for item in request.session.items
+    }
+    keys = sorted(
+        {_MODULE_EXPERIMENTS[m] for m in modules if m in _MODULE_EXPERIMENTS}
+    )
+    if not keys:
+        return
+    from repro.obs import fidelity
+
+    scoreboard = fidelity.build_scoreboard(
+        fidelity.collect_summaries(sim_params, keys)
+    )
+    path = fidelity.write_baseline(
+        out, scoreboard, fidelity.params_context(sim_params)
+    )
+    print(f"\nfidelity scoreboard written to {path} "
+          f"({len(scoreboard)} experiments)", file=sys.stderr)
 
 
 @pytest.fixture

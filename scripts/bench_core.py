@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Measure hot-path simulator throughput per design configuration.
+
+Runs one workload x config matrix without any caching and reports
+*simulated L3 accesses per second of wall clock* for each design —
+the repository's core performance trajectory (``BENCH_core.json``)::
+
+    PYTHONPATH=src python scripts/bench_core.py \
+        --min-throughput 2000 --out BENCH_core.json
+
+The throughput floor (``--min-throughput``, applied to the *slowest*
+config's accesses/sec) is the CI perf-regression gate: a PR that halves
+hot-path speed fails here even though every functional test passes.
+Each (workload, config) cell runs ``--repeats`` times and keeps the
+fastest wall time, which filters scheduler noise on loaded CI machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+# Throughput measurement must never touch (or populate) the repo's result
+# cache: point the runner at a throwaway path before importing repro.
+if "REPRO_CACHE_PATH" not in os.environ:
+    os.environ["REPRO_CACHE_PATH"] = os.path.join(
+        os.environ.get("TMPDIR", "/tmp"), "repro-bench-core-unused.json"
+    )
+
+from repro.harness.runner import make_config  # noqa: E402
+from repro.sim.engine import SimulationParams, run_workload  # noqa: E402
+
+DEFAULT_CONFIGS = ["base", "tsi", "bai", "dice", "scc"]
+DEFAULT_WORKLOADS = ["mcf", "gcc"]
+
+
+def _bench_cell(workload: str, config_name: str, params, repeats: int):
+    """(accesses/sec, best wall seconds, total simulated accesses)."""
+    config = make_config(config_name)
+    best = float("inf")
+    accesses = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_workload(workload, config, params)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        # demand L3 accesses actually simulated (all cores, incl. warmup)
+        accesses = params.accesses_per_core * len(result.per_core_ipc)
+    return accesses / best, best, accesses
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--configs", nargs="+", default=DEFAULT_CONFIGS)
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--accesses", type=int, default=600,
+                        help="accesses per core per run (default 600)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repetitions per cell; fastest wins")
+    parser.add_argument("--min-throughput", type=float, default=None,
+                        help="fail if any config's accesses/sec falls below")
+    parser.add_argument("--out", default="BENCH_core.json")
+    args = parser.parse_args(argv)
+
+    params = SimulationParams(accesses_per_core=args.accesses)
+    failures = []
+    per_config = {}
+    for config_name in args.configs:
+        rates = []
+        cells = {}
+        for workload in args.workloads:
+            rate, best_s, accesses = _bench_cell(
+                workload, config_name, params, max(1, args.repeats)
+            )
+            rates.append(rate)
+            cells[workload] = {
+                "accesses_per_sec": round(rate, 1),
+                "best_seconds": round(best_s, 4),
+                "simulated_accesses": accesses,
+            }
+            print(f"{config_name:10s} {workload:8s} "
+                  f"{rate:10.0f} acc/s ({best_s:.3f}s best)",
+                  file=sys.stderr)
+        config_rate = min(rates)
+        per_config[config_name] = {
+            "accesses_per_sec": round(config_rate, 1),
+            "workloads": cells,
+        }
+        if (args.min_throughput is not None
+                and config_rate < args.min_throughput):
+            failures.append(
+                f"{config_name}: {config_rate:.0f} accesses/sec is below "
+                f"the --min-throughput {args.min_throughput:g} floor"
+            )
+
+    slowest = min(
+        entry["accesses_per_sec"] for entry in per_config.values()
+    )
+    report = {
+        "accesses_per_core": args.accesses,
+        "repeats": args.repeats,
+        "workloads": args.workloads,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "configs": per_config,
+        "slowest_accesses_per_sec": slowest,
+        "min_throughput_floor": args.min_throughput,
+        "ok": not failures,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"slowest config: {slowest:.0f} accesses/sec "
+          f"(floor: {args.min_throughput or 'none'}); wrote {args.out}",
+          file=sys.stderr)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Flight-recorder report: one self-contained document per campaign.
+
+``cli report --flight`` joins everything the observability layer knows
+about a campaign into a single reviewable artifact:
+
+* the **fidelity scoreboard** (:mod:`repro.obs.fidelity`) — every
+  experiment's summary keys vs the paper's targets, shape-check
+  outcomes, and the drift verdict against ``FIDELITY_baseline.json``;
+* per-experiment **campaign timings** (written by ``cli all`` to
+  ``.campaign_flight.json``);
+* the **top-N self-profile entries** of a ``*.prof.json`` run;
+* a **metrics snapshot** (counters/gauges of a ``metrics.json`` export);
+* a **trace summary** (the ``trace summarize`` aggregation).
+
+Sections whose inputs were not recorded are listed as absent rather than
+omitted silently, so a report always answers "what was measured?".
+Markdown is the native format; ``--format html`` wraps the same content
+in a dependency-free single-file HTML document.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.fidelity import (
+    DriftFlag,
+    FidelityScore,
+    format_scoreboard,
+)
+
+FLIGHT_DATA_VERSION = 1
+
+DEFAULT_CAMPAIGN_FLIGHT = Path(".campaign_flight.json")
+
+
+def load_campaign_flight(path=DEFAULT_CAMPAIGN_FLIGHT) -> Optional[Dict]:
+    """Per-step campaign timings written by ``cli all``, if present."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or "steps" not in payload:
+        return None
+    return payload
+
+
+def build_flight_data(
+    scoreboard: Dict[str, FidelityScore],
+    flags: Optional[List[DriftFlag]] = None,
+    *,
+    context: Optional[Dict[str, object]] = None,
+    baseline_path: Optional[str] = None,
+    campaign: Optional[Dict] = None,
+    profile: Optional[Dict] = None,
+    metrics: Optional[Dict] = None,
+    trace_summary: Optional[Dict] = None,
+    top: int = 10,
+) -> Dict[str, object]:
+    """Assemble the renderer-independent report payload."""
+    from repro.obs.prof import top_frames
+
+    return {
+        "version": FLIGHT_DATA_VERSION,
+        "context": dict(context or {}),
+        "baseline_path": baseline_path,
+        "scoreboard": scoreboard,
+        "flags": list(flags or []),
+        "campaign": campaign,
+        "profile_top": top_frames(profile, top) if profile else None,
+        "profile_meta": (profile or {}).get("meta"),
+        "metrics": metrics,
+        "trace_summary": trace_summary,
+    }
+
+
+# ---------------------------------------------------------------------------
+# markdown rendering
+
+
+def _verdict_line(data: Dict[str, object]) -> str:
+    flags = data["flags"]
+    if data["baseline_path"] is None:
+        return "**Drift:** not checked (no baseline supplied)."
+    if not flags:
+        return (
+            f"**Drift:** all rows in-band against "
+            f"`{data['baseline_path']}`."
+        )
+    lines = [f"**Drift:** {len(flags)} out-of-band movement(s):", ""]
+    lines += [f"- {flag.describe()}" for flag in flags]
+    return "\n".join(lines)
+
+
+def _campaign_section(campaign: Optional[Dict]) -> List[str]:
+    if not campaign:
+        return ["_No campaign timing data (run `cli all` to record it)._"]
+    lines = ["| experiment | wall seconds |", "|---|---:|"]
+    for step in campaign.get("steps", []):
+        lines.append(f"| {step['name']} | {step['seconds']:.2f} |")
+    total = campaign.get("total_seconds")
+    if total is not None:
+        lines.append(f"| **total** | **{total:.2f}** |")
+    return lines
+
+
+def _profile_section(data: Dict[str, object]) -> List[str]:
+    top = data["profile_top"]
+    if top is None:
+        return ["_No profile recorded (run with `--profile PATH` or "
+                "`REPRO_PROF`)._"]
+    lines = [
+        "| stack | calls | self wall s | incl wall s | sim cycles |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for frame in top:
+        lines.append(
+            f"| `{frame['stack']}` | {frame['calls']} "
+            f"| {frame['self_wall_s']:.4f} | {frame['wall_s']:.4f} "
+            f"| {frame['cycles']} |"
+        )
+    return lines
+
+
+def _metrics_section(metrics: Optional[Dict]) -> List[str]:
+    if not metrics:
+        return ["_No metrics snapshot (run with `--metrics PATH` or "
+                "`REPRO_METRICS`)._"]
+    payload = metrics.get("metrics", metrics)
+    lines = ["| metric | value |", "|---|---:|"]
+    for key, value in sorted(payload.get("counters", {}).items()):
+        lines.append(f"| `{key}` | {value} |")
+    for key, value in sorted(payload.get("gauges", {}).items()):
+        lines.append(f"| `{key}` | {value:.4f} |")
+    if len(lines) == 2:
+        return ["_Metrics snapshot holds no counters or gauges._"]
+    return lines
+
+
+def _trace_section(trace_summary: Optional[Dict]) -> List[str]:
+    if not trace_summary:
+        return ["_No trace summarized (run with `--trace PATH` or "
+                "`REPRO_TRACE`)._"]
+    from repro.obs.tracer import format_summary
+
+    return ["```", format_summary(trace_summary), "```"]
+
+
+def render_markdown(data: Dict[str, object]) -> str:
+    """The flight report as GitHub-flavored markdown."""
+    context = ", ".join(
+        f"{k}={v}" for k, v in data["context"].items()
+    ) or "(unspecified)"
+    parts: List[str] = [
+        "# Flight recorder report",
+        "",
+        f"Parameter context: {context}",
+        "",
+        _verdict_line(data),
+        "",
+        "## Fidelity scoreboard",
+        "",
+        "```",
+        format_scoreboard(data["scoreboard"], data["flags"]),
+        "```",
+        "",
+        "## Campaign timings",
+        "",
+        *_campaign_section(data["campaign"]),
+        "",
+        "## Self-profile (top frames by self wall time)",
+        "",
+        *_profile_section(data),
+        "",
+        "## Metrics snapshot",
+        "",
+        *_metrics_section(data["metrics"]),
+        "",
+        "## Trace summary",
+        "",
+        *_trace_section(data["trace_summary"]),
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def render_html(data: Dict[str, object]) -> str:
+    """Self-contained single-file HTML wrapping the markdown content."""
+    body = html.escape(render_markdown(data))
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>Flight recorder report</title>"
+        "<style>body{font-family:ui-monospace,monospace;max-width:72rem;"
+        "margin:2rem auto;padding:0 1rem;background:#fdfdfd;color:#222}"
+        "pre{background:#f4f4f4;padding:1rem;overflow-x:auto}</style>"
+        "</head><body><pre>"
+        f"{body}"
+        "</pre></body></html>\n"
+    )
+
+
+def write_flight_report(
+    path, data: Dict[str, object], fmt: str = "md"
+) -> Path:
+    """Render and write the report; returns the output path."""
+    if fmt not in ("md", "html"):
+        raise ValueError(f"unknown flight-report format {fmt!r}")
+    text = render_markdown(data) if fmt == "md" else render_html(data)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

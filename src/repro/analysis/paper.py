@@ -1,119 +1,16 @@
-"""Reference values reported by the paper, one structured table.
+"""Reference values reported by the paper (compatibility re-export).
 
-Each entry maps an experiment key (matching `repro.harness.cli.EXPERIMENTS`)
-to the summary numbers the paper's evaluation states, as plain floats in
-the same units the experiment drivers produce (speedups as ratios,
-percentages as 0-100 values, capacities as ratios).
-
-These are the comparison targets for EXPERIMENTS.md; the benchmark suite
-asserts *shape* (orderings, crossovers, signs), not these magnitudes.
+The structured table of paper-reported targets moved to
+:mod:`repro.obs.fidelity` (where the fidelity scoreboard, committed
+baseline, and drift detection consume it); this module keeps the
+long-standing ``analysis``-side names alive for existing callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from repro.obs.fidelity import PAPER_TARGETS, paper_value
 
-PAPER_REFERENCE: Dict[str, Dict[str, float]] = {
-    # Fig 1(f) / Sec 2.4: potential from doubling DRAM-cache resources
-    "fig1": {
-        "2xcap/ALL26": 1.10,
-        "2xcap2xbw/ALL26": 1.22,
-    },
-    # Fig 4: compressibility of installed lines (Sec 4.2)
-    "fig4": {
-        "double<=68": 52.0,  # "on average 52% of two adjacent lines ..."
-    },
-    # Fig 7: static schemes (Sec 4.4-4.6)
-    "fig7": {
-        "tsi/ALL26": 1.07,
-        "bai/ALL26": 1.001,  # "similar to baseline (0.1% speedup)"
-        "2xcap/ALL26": 1.10,
-        "2xcap2xbw/ALL26": 1.22,
-    },
-    # Fig 10: the headline result (Sec 5.4)
-    "fig10": {
-        "tsi/ALL26": 1.07,
-        "bai/ALL26": 1.001,
-        "dice/ALL26": 1.19,
-        "2xcap2xbw/ALL26": 1.219,
-    },
-    # Fig 11: index distribution (Sec 6.1): of the decided half, 52/48
-    "fig11": {
-        "decided/tsi_share": 52.0,
-        "decided/bai_share": 48.0,
-    },
-    # Fig 12: KNL variant (Sec 6.6)
-    "fig12": {
-        "dice-knl/ALL26": 1.175,
-        "dice/ALL26": 1.19,
-    },
-    # Fig 13: non-memory-intensive workloads (Sec 6.7)
-    "fig13": {
-        "gmean": 1.02,
-    },
-    # Fig 14: energy (Sec 6.9)
-    "fig14": {
-        "dice/energy": 0.76,
-        "dice/edp": 0.64,
-    },
-    # Fig 15: SCC comparison (Sec 7.3)
-    "fig15": {
-        "scc/ALL26": 0.78,
-        "dice/ALL26": 1.19,
-    },
-    # Table 4: threshold sensitivity (Sec 6.2)
-    "table4": {
-        "dice-t32/ALL26": 1.175,
-        "dice/ALL26": 1.190,
-        "dice-t40/ALL26": 1.183,
-        "dice-t32/SPEC RATE": 1.106,
-        "dice/SPEC RATE": 1.122,
-        "dice-t40/SPEC RATE": 1.111,
-        "dice-t32/GAP": 1.476,
-        "dice/GAP": 1.489,
-        "dice-t40/GAP": 1.491,
-    },
-    # Table 5: effective capacity (Sec 6.3)
-    "table5": {
-        "tsi/ALL26": 1.24,
-        "bai/ALL26": 1.69,
-        "dice/ALL26": 1.62,
-        "tsi/GAP": 2.00,
-        "bai/GAP": 5.57,
-        "dice/GAP": 5.06,
-        "tsi/SPEC RATE": 1.07,
-        "bai/SPEC RATE": 1.16,
-        "dice/SPEC RATE": 1.13,
-    },
-    # Table 6: L3 hit rate (Sec 6.4)
-    "table6": {
-        "base/AVG26": 37.0,
-        "dice/AVG26": 43.6,
-    },
-    # Table 7: prefetch comparison (Sec 6.5)
-    "table7": {
-        "base-wide128/ALL26": 1.019,
-        "base-nextline/ALL26": 1.016,
-        "dice/ALL26": 1.190,
-        "dice-nextline/ALL26": 1.209,
-    },
-    # Table 8: design-point sensitivity (Sec 6.8)
-    "table8": {
-        "base(1GB)/ALL26": 1.190,
-        "2x Capacity/ALL26": 1.132,
-        "2x BW/ALL26": 1.245,
-        "50% Latency/ALL26": 1.244,
-    },
-    # Sec 5.3: CIP accuracy
-    "cip": {
-        "dice-ltt512": 93.2,
-        "dice": 93.8,
-        "dice-ltt8192": 94.1,
-        "write": 95.0,
-    },
-}
+PAPER_REFERENCE = PAPER_TARGETS
+"""Historic name for :data:`repro.obs.fidelity.PAPER_TARGETS`."""
 
-
-def paper_value(experiment: str, key: str) -> Optional[float]:
-    """The paper's reported value for one summary entry, if stated."""
-    return PAPER_REFERENCE.get(experiment, {}).get(key)
+__all__ = ["PAPER_REFERENCE", "PAPER_TARGETS", "paper_value"]

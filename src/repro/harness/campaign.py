@@ -43,6 +43,10 @@ CHECKPOINT_VERSION = 1
 
 DEFAULT_CHECKPOINT = Path(".campaign_checkpoint.json")
 
+FLIGHT_VERSION = 1
+
+DEFAULT_FLIGHT_DATA = Path(".campaign_flight.json")
+
 
 class SimulationTimeout(Exception):
     """One simulation exceeded its per-run wall-clock budget."""
@@ -236,6 +240,7 @@ class Campaign:
         self.resume = resume
         self.completed: List[str] = []
         self.skipped: List[str] = []
+        self.timings: Dict[str, float] = {}
 
     # -- checkpoint persistence ---------------------------------------------
 
@@ -314,7 +319,9 @@ class Campaign:
         for name, thunk in self.steps:
             if name in done:
                 continue
+            step_started = time.perf_counter()
             outcome = thunk()
+            self.timings[name] = time.perf_counter() - step_started
             results[name] = outcome
             if on_step is not None:
                 on_step(name, outcome)
@@ -323,3 +330,34 @@ class Campaign:
         if len(self.completed) == len(self.steps):
             self.clear_checkpoint()
         return results
+
+    # -- flight data ---------------------------------------------------------
+
+    def flight_payload(self) -> Dict[str, object]:
+        """Per-step wall timings, the flight report's campaign section."""
+        steps = [
+            {"name": name, "seconds": round(self.timings[name], 6)}
+            for name, _ in self.steps
+            if name in self.timings
+        ]
+        return {
+            "version": FLIGHT_VERSION,
+            "context": self.context,
+            "steps": steps,
+            "total_seconds": round(
+                sum(step["seconds"] for step in steps), 6
+            ),
+            "skipped": list(self.skipped),
+        }
+
+    def write_flight_data(self, path: Path = DEFAULT_FLIGHT_DATA) -> Path:
+        """Persist the timings next to the checkpoint (atomically)."""
+        path = Path(path)
+        payload = json.dumps(self.flight_payload(), indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent or Path(".")
+        )
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+        return path

@@ -8,8 +8,10 @@ Usage::
     python -m repro.harness.cli faults --fault-rate 3e13 --ecc secded
     python -m repro.harness.cli all --timeout 900 --retries 2 --jobs 8
     python -m repro.harness.cli fig10 --trace /tmp/dice-trace.jsonl
+    python -m repro.harness.cli fig10 --profile /tmp/dice.prof.json
     python -m repro.harness.cli trace summarize /tmp/dice-trace.jsonl
     python -m repro.harness.cli manifest show mcf dice
+    python -m repro.harness.cli report --flight --check
 
 Results are cached on disk, so regenerating a second figure that shares
 configurations with the first is nearly instant.  ``all`` checkpoints its
@@ -24,7 +26,9 @@ so parallel output is bit-identical to ``--jobs 1``.  A progress line
 
 Exit codes: 0 success, 2 usage error (unknown experiment/flag), 3 a
 simulation failed after all retries (remaining jobs are still drained
-and cached, so a re-run only repeats the failures).
+and cached, so a re-run only repeats the failures), 4 the fidelity
+scoreboard drifted out of its tolerance band (``report --flight
+--check``).
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ from repro.sim.engine import SimulationParams
 EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_SIM_FAILURE = 3
+EXIT_DRIFT = 4
 
 
 def run_one(key: str, params: SimulationParams) -> None:
@@ -104,6 +109,13 @@ def _trace_command(argv: List[str]) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if summary["events"] == 0:
+        print(
+            f"error: {args.path} holds no trace events (empty or "
+            f"meta-only file — did the traced run execute?)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     print(obs.format_summary(summary))
     return EXIT_OK
 
@@ -135,6 +147,13 @@ def _manifest_command(argv: List[str]) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: cannot read shard: {exc}", file=sys.stderr)
             return EXIT_USAGE
+        if not isinstance(entry, dict):
+            print(
+                f"error: {args.shard} is not a cache shard (expected a "
+                f"JSON object, got {type(entry).__name__})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
         print(obs.format_manifest(entry.get("manifest")))
         return EXIT_OK
     if not args.workload or not args.config:
@@ -157,6 +176,160 @@ def _manifest_command(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def _report_command(argv: List[str]) -> int:
+    """``repro report --flight`` — the flight-recorder report.
+
+    Joins the fidelity scoreboard (graded against the committed
+    ``FIDELITY_baseline.json``), campaign timings, top self-profile
+    frames, a metrics snapshot, and a trace summary into one document.
+    ``--check`` exits :data:`EXIT_DRIFT` when any figure moved out of the
+    tolerance band; ``--update-baseline`` re-records the baseline at the
+    current parameters instead.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.analysis import flight
+    from repro.harness.runner import DEFAULT_ACCESSES
+    from repro.obs import fidelity
+    from repro.obs.prof import read_profile
+
+    parser = argparse.ArgumentParser(prog="repro.harness.cli report")
+    parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="render the flight-recorder report (the only report mode)",
+    )
+    parser.add_argument("--out", default="FLIGHT_report.md")
+    parser.add_argument(
+        "--format",
+        choices=["md", "html"],
+        default=None,
+        help="output format (default: inferred from --out suffix)",
+    )
+    parser.add_argument("--baseline", default="FIDELITY_baseline.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit {EXIT_DRIFT} when any figure drifted out of band",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-record the baseline from this run's scoreboard",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="drift tolerance band (default: the baseline's recorded one)",
+    )
+    parser.add_argument("--trace", default=None, metavar="PATH")
+    parser.add_argument("--metrics", default=None, metavar="PATH")
+    parser.add_argument("--profile", default=None, metavar="PATH")
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--accesses", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--experiments",
+        default=None,
+        help="comma-separated experiment keys (default: all)",
+    )
+    args = parser.parse_args(argv)
+    if not args.flight:
+        parser.error("report currently supports --flight only")
+
+    experiments = None
+    if args.experiments:
+        experiments = [k for k in args.experiments.split(",") if k]
+        unknown = [k for k in experiments if k not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    params = SimulationParams(
+        accesses_per_core=args.accesses or DEFAULT_ACCESSES, seed=args.seed
+    )
+    context = fidelity.params_context(params)
+    summaries = fidelity.collect_summaries(params, experiments)
+    scoreboard = fidelity.build_scoreboard(summaries)
+
+    if args.update_baseline:
+        path = fidelity.write_baseline(
+            args.baseline, scoreboard, context,
+            tolerance=args.tolerance or fidelity.DEFAULT_TOLERANCE,
+        )
+        print(f"baseline updated: {path} ({len(scoreboard)} experiments)")
+
+    flags: List = []
+    baseline_used = None
+    if Path(args.baseline).exists():
+        try:
+            baseline = fidelity.load_baseline(args.baseline)
+            flags = fidelity.detect_drift(
+                scoreboard, baseline,
+                tolerance=args.tolerance, context=context,
+            )
+        except fidelity.BaselineContextMismatch as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except ValueError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        baseline_used = args.baseline
+    elif args.check:
+        print(
+            f"error: --check needs a baseline, and {args.baseline} does "
+            f"not exist (generate one with --update-baseline)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    def _load(path, loader, what):
+        if path is None:
+            return None
+        try:
+            return loader(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {what}: {exc}", file=sys.stderr)
+            return exc
+
+    import repro.obs as obs
+
+    profile = _load(args.profile, read_profile, "profile")
+    trace_summary = _load(args.trace, obs.summarize_trace, "trace")
+    metrics = _load(
+        args.metrics, lambda p: json.loads(Path(p).read_text()), "metrics"
+    )
+    for loaded in (profile, trace_summary, metrics):
+        if isinstance(loaded, Exception):
+            return EXIT_USAGE
+
+    data = flight.build_flight_data(
+        scoreboard,
+        flags,
+        context=context,
+        baseline_path=baseline_used,
+        campaign=flight.load_campaign_flight(),
+        profile=profile,
+        metrics=metrics,
+        trace_summary=trace_summary,
+        top=args.top,
+    )
+    fmt = args.format or (
+        "html" if Path(args.out).suffix in (".html", ".htm") else "md"
+    )
+    out = flight.write_flight_report(args.out, data, fmt)
+    print(f"wrote {out}")
+    if flags:
+        for flag in flags:
+            print(f"drift: {flag.describe()}", file=sys.stderr)
+        if args.check:
+            return EXIT_DRIFT
+    elif baseline_used:
+        print(f"fidelity: all rows in-band against {baseline_used}")
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # observability subcommands, dispatched before experiment parsing
@@ -164,6 +337,8 @@ def main(argv=None) -> int:
         return _trace_command(argv[1:])
     if argv and argv[0] == "manifest":
         return _manifest_command(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
@@ -172,7 +347,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment key (see `list`), or `all`, or `list`, or the "
-        "`trace summarize` / `manifest show` observability subcommands",
+        "`trace summarize` / `manifest show` / `report --flight` "
+        "observability subcommands",
     )
     parser.add_argument(
         "--accesses",
@@ -239,14 +415,23 @@ def main(argv=None) -> int:
         help="export the per-run metrics registry as JSON "
         "(implied next to --trace output when only --trace is given)",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="record a component self-profile (*.prof.json + collapsed "
+        "stacks for flamegraph tools) for every simulation this command "
+        "executes",
+    )
     args = parser.parse_args(argv)
     if args.trace_every is not None and args.trace_every < 1:
         parser.error("--trace-every must be >= 1")
-    if args.trace or args.trace_every or args.metrics:
+    if args.trace or args.trace_every or args.metrics or args.profile:
         import repro.obs as obs
 
         obs.configure(
-            trace=args.trace, every=args.trace_every, metrics=args.metrics
+            trace=args.trace, every=args.trace_every, metrics=args.metrics,
+            profile=args.profile,
         )
 
     if args.experiment == "list":
@@ -306,6 +491,8 @@ def main(argv=None) -> int:
                 f"(resumed: skipped {len(campaign.skipped)} already-completed "
                 f"experiment(s): {', '.join(campaign.skipped)})"
             )
+        # per-step wall timings feed `report --flight`'s campaign section
+        campaign.write_flight_data()
         return EXIT_OK
 
     if args.experiment not in EXPERIMENTS:

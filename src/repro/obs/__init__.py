@@ -35,6 +35,14 @@ from repro.obs.manifest import (
     format_manifest,
     git_sha,
 )
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    instrument_method,
+    read_profile,
+    top_frames,
+)
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, metric_key
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -49,8 +57,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
+    "Profiler",
     "RunObservability",
     "Tracer",
     "begin_run",
@@ -61,11 +72,15 @@ __all__ = [
     "format_manifest",
     "format_summary",
     "git_sha",
+    "instrument_method",
     "metric_key",
     "metrics_settings",
+    "profile_settings",
     "read_events",
+    "read_profile",
     "reset_configuration",
     "summarize_trace",
+    "top_frames",
     "trace_settings",
 ]
 
@@ -73,7 +88,7 @@ __all__ = [
 # ambient configuration (set by the CLI, read by the engine)
 
 _explicit: Dict[str, Optional[object]] = {
-    "trace": None, "every": None, "metrics": None,
+    "trace": None, "every": None, "metrics": None, "profile": None,
 }
 _run_seq = itertools.count()
 
@@ -82,21 +97,25 @@ def configure(
     trace: Optional[str] = None,
     every: Optional[int] = None,
     metrics: Optional[str] = None,
+    profile: Optional[str] = None,
 ) -> None:
     """Install explicit observability settings (the CLI's ``--trace`` /
-    ``--trace-every`` / ``--metrics`` flags); None leaves a knob as-is."""
+    ``--trace-every`` / ``--metrics`` / ``--profile`` flags); None leaves
+    a knob as-is."""
     if trace is not None:
         _explicit["trace"] = trace
     if every is not None:
         _explicit["every"] = int(every)
     if metrics is not None:
         _explicit["metrics"] = metrics
+    if profile is not None:
+        _explicit["profile"] = profile
 
 
 def reset_configuration() -> None:
     """Clear explicit settings and the output-path sequence (tests)."""
     global _run_seq
-    _explicit.update(trace=None, every=None, metrics=None)
+    _explicit.update(trace=None, every=None, metrics=None, profile=None)
     _run_seq = itertools.count()
 
 
@@ -116,6 +135,11 @@ def trace_settings():
 def metrics_settings() -> Optional[str]:
     """Explicit ``--metrics`` path, else ``REPRO_METRICS``, else None."""
     return _explicit["metrics"] or os.environ.get("REPRO_METRICS") or None
+
+
+def profile_settings() -> Optional[str]:
+    """Explicit ``--profile`` path, else ``REPRO_PROF``, else None."""
+    return _explicit["profile"] or os.environ.get("REPRO_PROF") or None
 
 
 def _uniquify(path_str: str, n: int) -> Path:
@@ -152,6 +176,7 @@ class RunObservability:
     tracer: object = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     metrics_path: Optional[Path] = None
+    profiler: object = NULL_PROFILER
 
     @classmethod
     def disabled(cls) -> "RunObservability":
@@ -161,12 +186,14 @@ class RunObservability:
 def begin_run(label: str) -> RunObservability:
     """The observability bundle for one run about to start.
 
-    Returns a disabled-tracer bundle (fresh registry, no output paths)
-    unless tracing or metrics export is configured.
+    Returns a disabled bundle (null tracer/profiler, fresh registry, no
+    output paths) unless tracing, metrics export, or profiling is
+    configured.
     """
     trace_path, every = trace_settings()
     metrics_path = metrics_settings()
-    if trace_path is None and metrics_path is None:
+    profile_path = profile_settings()
+    if trace_path is None and metrics_path is None and profile_path is None:
         return RunObservability()
     n = next(_run_seq)
     tracer = (
@@ -174,16 +201,24 @@ def begin_run(label: str) -> RunObservability:
         if trace_path is not None
         else NULL_TRACER
     )
+    profiler = (
+        Profiler(_uniquify(profile_path, n), meta={"run": label})
+        if profile_path is not None
+        else NULL_PROFILER
+    )
     if metrics_path is not None:
         out = _uniquify(metrics_path, n)
-    else:
+    elif trace_path is not None:
         base = tracer.path
         name = f"{base.stem}.metrics.json" if base.suffix == ".jsonl" else (
             base.name + ".metrics.json"
         )
         out = base.with_name(name)
+    else:
+        out = None  # profiling alone implies no metrics export
     return RunObservability(
-        tracer=tracer, metrics=MetricsRegistry(), metrics_path=out
+        tracer=tracer, metrics=MetricsRegistry(), metrics_path=out,
+        profiler=profiler,
     )
 
 
@@ -199,3 +234,4 @@ def finish_run(
         obs.metrics_path.parent.mkdir(parents=True, exist_ok=True)
         obs.metrics_path.write_text(json.dumps(payload, indent=1))
     obs.tracer.close()
+    obs.profiler.close()

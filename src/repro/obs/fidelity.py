@@ -1,0 +1,577 @@
+"""Paper-fidelity scoreboard: targets, grades, baseline, drift detection.
+
+The reproduction's accuracy used to live as prose in EXPERIMENTS.md; this
+module makes it machine-checked.  Four pieces:
+
+* :data:`PAPER_TARGETS` — the paper's reported values per figure/table
+  (lifted out of ``analysis/paper.py``, which now re-exports them), in
+  the same units the experiment drivers produce;
+* :class:`FidelityScore` — one experiment's grade: per-summary-key
+  magnitude deltas against the paper plus *shape* assertions (orderings,
+  crossovers, bounds) evaluated from :data:`SHAPE_CHECKS`;
+* a committed baseline (``FIDELITY_baseline.json``) recording every
+  score at a pinned parameter context, written/read here;
+* :func:`detect_drift` — flags any key whose delta-to-paper moved beyond
+  a tolerance band *between runs*, any non-paper key whose measured
+  value moved relatively, and any shape assertion that flipped.
+
+Drift is movement **relative to the committed baseline**, not distance
+to the paper: a smoke-scale run can sit far from the paper's magnitudes
+(the baseline records that honestly) while still catching the PR that
+silently shifts a headline number.  Simulations are deterministic, so at
+an unchanged parameter context any movement at all is a code-behavior
+change.  A baseline written at different parameters refuses comparison
+(:class:`BaselineContextMismatch`) instead of producing false drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BASELINE_SCHEMA = 1
+
+DEFAULT_TOLERANCE = 0.05
+"""Allowed movement per key between baseline and current run.
+
+For keys with a paper target this bounds the change of the *relative
+delta to the paper* (e.g. baseline +2% vs paper, current +8% → movement
+0.06 → flagged).  For keys without a target it bounds the relative
+change of the measured value itself.
+"""
+
+TOLERANCE_OVERRIDES: Dict[str, float] = {
+    # Fault-sweep summaries mix geomeans with raw event counts; counts of
+    # rare events move in integer steps, so give them more headroom.
+    "faults": 0.25,
+}
+
+PAPER_TARGETS: Dict[str, Dict[str, float]] = {
+    # Fig 1(f) / Sec 2.4: potential from doubling DRAM-cache resources
+    "fig1": {
+        "2xcap/ALL26": 1.10,
+        "2xcap2xbw/ALL26": 1.22,
+    },
+    # Fig 4: compressibility of installed lines (Sec 4.2)
+    "fig4": {
+        "double<=68": 52.0,  # "on average 52% of two adjacent lines ..."
+    },
+    # Fig 7: static schemes (Sec 4.4-4.6)
+    "fig7": {
+        "tsi/ALL26": 1.07,
+        "bai/ALL26": 1.001,  # "similar to baseline (0.1% speedup)"
+        "2xcap/ALL26": 1.10,
+        "2xcap2xbw/ALL26": 1.22,
+    },
+    # Fig 10: the headline result (Sec 5.4)
+    "fig10": {
+        "tsi/ALL26": 1.07,
+        "bai/ALL26": 1.001,
+        "dice/ALL26": 1.19,
+        "2xcap2xbw/ALL26": 1.219,
+    },
+    # Fig 11: index distribution (Sec 6.1): of the decided half, 52/48
+    "fig11": {
+        "decided/tsi_share": 52.0,
+        "decided/bai_share": 48.0,
+    },
+    # Fig 12: KNL variant (Sec 6.6)
+    "fig12": {
+        "dice-knl/ALL26": 1.175,
+        "dice/ALL26": 1.19,
+    },
+    # Fig 13: non-memory-intensive workloads (Sec 6.7)
+    "fig13": {
+        "gmean": 1.02,
+    },
+    # Fig 14: energy (Sec 6.9)
+    "fig14": {
+        "dice/energy": 0.76,
+        "dice/edp": 0.64,
+    },
+    # Fig 15: SCC comparison (Sec 7.3)
+    "fig15": {
+        "scc/ALL26": 0.78,
+        "dice/ALL26": 1.19,
+    },
+    # Table 4: threshold sensitivity (Sec 6.2)
+    "table4": {
+        "dice-t32/ALL26": 1.175,
+        "dice/ALL26": 1.190,
+        "dice-t40/ALL26": 1.183,
+        "dice-t32/SPEC RATE": 1.106,
+        "dice/SPEC RATE": 1.122,
+        "dice-t40/SPEC RATE": 1.111,
+        "dice-t32/GAP": 1.476,
+        "dice/GAP": 1.489,
+        "dice-t40/GAP": 1.491,
+    },
+    # Table 5: effective capacity (Sec 6.3)
+    "table5": {
+        "tsi/ALL26": 1.24,
+        "bai/ALL26": 1.69,
+        "dice/ALL26": 1.62,
+        "tsi/GAP": 2.00,
+        "bai/GAP": 5.57,
+        "dice/GAP": 5.06,
+        "tsi/SPEC RATE": 1.07,
+        "bai/SPEC RATE": 1.16,
+        "dice/SPEC RATE": 1.13,
+    },
+    # Table 6: L3 hit rate (Sec 6.4)
+    "table6": {
+        "base/AVG26": 37.0,
+        "dice/AVG26": 43.6,
+    },
+    # Table 7: prefetch comparison (Sec 6.5)
+    "table7": {
+        "base-wide128/ALL26": 1.019,
+        "base-nextline/ALL26": 1.016,
+        "dice/ALL26": 1.190,
+        "dice-nextline/ALL26": 1.209,
+    },
+    # Table 8: design-point sensitivity (Sec 6.8)
+    "table8": {
+        "base(1GB)/ALL26": 1.190,
+        "2x Capacity/ALL26": 1.132,
+        "2x BW/ALL26": 1.245,
+        "50% Latency/ALL26": 1.244,
+    },
+    # Sec 5.3: CIP accuracy
+    "cip": {
+        "dice-ltt512": 93.2,
+        "dice": 93.8,
+        "dice-ltt8192": 94.1,
+        "write": 95.0,
+    },
+}
+
+
+def paper_value(experiment: str, key: str) -> Optional[float]:
+    """The paper's reported value for one summary entry, if stated."""
+    return PAPER_TARGETS.get(experiment, {}).get(key)
+
+
+# ---------------------------------------------------------------------------
+# shape assertions
+#
+# Each check is a data tuple over an experiment's *summary* keys:
+#   ("gt", a, b)           summary[a] >  summary[b]
+#   ("ge", a, b)           summary[a] >= summary[b]
+#   ("gt_const", a, c)     summary[a] >  c
+#   ("lt_const", a, c)     summary[a] <  c
+#   ("between", a, lo, hi) lo <= summary[a] <= hi
+#
+# Shapes are the paper's qualitative claims (DICE beats the static
+# schemes, BAI recovers more capacity than TSI, …).  A shape may fail at
+# smoke access counts — the baseline records the outcome, and drift
+# detection flags only a *flip*, not a standing failure.
+
+SHAPE_CHECKS: Dict[str, Tuple[tuple, ...]] = {
+    "fig1": (
+        ("gt", "2xcap2xbw/ALL26", "2xcap/ALL26"),
+        ("gt_const", "2xcap/ALL26", 1.0),
+    ),
+    "fig4": (
+        ("ge", "single<=36", "single<=32"),
+        ("between", "double<=68", 0.0, 100.0),
+    ),
+    "fig7": (
+        ("gt", "2xcap2xbw/ALL26", "2xcap/ALL26"),
+        ("gt_const", "tsi/ALL26", 0.9),
+    ),
+    "fig10": (
+        ("gt", "dice/ALL26", "tsi/ALL26"),
+        ("gt", "dice/ALL26", "bai/ALL26"),
+        ("gt_const", "dice/ALL26", 1.0),
+    ),
+    "fig11": (
+        ("between", "decided/tsi_share", 0.0, 100.0),
+        ("between", "decided/bai_share", 0.0, 100.0),
+    ),
+    "fig12": (("ge", "dice/ALL26", "dice-knl/ALL26"),),
+    "fig13": (("between", "gmean", 0.8, 1.2),),
+    "fig14": (
+        ("lt_const", "dice/energy", 1.0),
+        ("lt_const", "dice/edp", 1.0),
+    ),
+    "fig15": (("gt", "dice/ALL26", "scc/ALL26"),),
+    "table4": (("gt_const", "dice/ALL26", 1.0),),
+    "table5": (
+        ("gt", "bai/ALL26", "tsi/ALL26"),
+        ("gt_const", "dice/ALL26", 1.0),
+    ),
+    "table6": (("gt", "dice/AVG26", "base/AVG26"),),
+    "table7": (("ge", "dice-nextline/ALL26", "dice/ALL26"),),
+    "table8": (("gt_const", "base(1GB)/ALL26", 1.0),),
+    "cip": (
+        ("between", "dice", 0.0, 100.0),
+        ("gt_const", "dice", 50.0),
+    ),
+    "faults": (("gt_const", "dice/retained@maxrate", 0.5),),
+}
+
+
+def shape_label(check: tuple) -> str:
+    """Stable human/JSON identity of one shape check."""
+    op = check[0]
+    if op in ("gt", "ge"):
+        symbol = ">" if op == "gt" else ">="
+        return f"{check[1]} {symbol} {check[2]}"
+    if op == "gt_const":
+        return f"{check[1]} > {check[2]:g}"
+    if op == "lt_const":
+        return f"{check[1]} < {check[2]:g}"
+    if op == "between":
+        return f"{check[2]:g} <= {check[1]} <= {check[3]:g}"
+    raise ValueError(f"unknown shape op {op!r}")
+
+
+def _evaluate_shape(check: tuple, summary: Dict[str, float]) -> bool:
+    op = check[0]
+    try:
+        if op == "gt":
+            return summary[check[1]] > summary[check[2]]
+        if op == "ge":
+            return summary[check[1]] >= summary[check[2]]
+        if op == "gt_const":
+            return summary[check[1]] > check[2]
+        if op == "lt_const":
+            return summary[check[1]] < check[2]
+        if op == "between":
+            return check[2] <= summary[check[1]] <= check[3]
+    except KeyError:
+        return False  # summary key disappeared: that *is* a shape failure
+    raise ValueError(f"unknown shape op {op!r}")
+
+
+def evaluate_shapes(
+    experiment: str, summary: Dict[str, float]
+) -> Dict[str, bool]:
+    """label -> pass for every shape check declared for the experiment."""
+    return {
+        shape_label(check): _evaluate_shape(check, summary)
+        for check in SHAPE_CHECKS.get(experiment, ())
+    }
+
+
+# ---------------------------------------------------------------------------
+# scoring
+
+
+@dataclass
+class KeyScore:
+    """One summary key's magnitude, paper target, and relative delta."""
+
+    key: str
+    measured: float
+    paper: Optional[float] = None
+
+    @property
+    def delta_to_paper(self) -> Optional[float]:
+        """Relative distance to the paper: (measured - paper) / paper."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"measured": self.measured}
+        if self.paper is not None:
+            out["paper"] = self.paper
+            out["delta_to_paper"] = round(self.delta_to_paper, 6)
+        return out
+
+
+@dataclass
+class FidelityScore:
+    """One experiment's grade: keyed magnitudes plus shape outcomes."""
+
+    experiment: str
+    keys: List[KeyScore] = field(default_factory=list)
+    shapes: Dict[str, bool] = field(default_factory=dict)
+
+    @classmethod
+    def from_summary(
+        cls, experiment: str, summary: Dict[str, float]
+    ) -> "FidelityScore":
+        keys = [
+            KeyScore(key, float(value), paper_value(experiment, key))
+            for key, value in summary.items()
+        ]
+        return cls(experiment, keys, evaluate_shapes(experiment, summary))
+
+    @property
+    def shapes_passed(self) -> int:
+        return sum(self.shapes.values())
+
+    @property
+    def worst_delta(self) -> Optional[float]:
+        """Largest |relative delta to paper| across graded keys."""
+        deltas = [
+            abs(ks.delta_to_paper)
+            for ks in self.keys
+            if ks.delta_to_paper is not None
+        ]
+        return max(deltas) if deltas else None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "keys": {ks.key: ks.to_dict() for ks in self.keys},
+            "shapes": dict(self.shapes),
+        }
+
+
+def collect_summaries(
+    params=None, experiments: Optional[Sequence[str]] = None
+) -> Dict[str, Dict[str, float]]:
+    """Run the experiment drivers and return their summaries, keyed by
+    experiment.  Deterministic simulations come from the result cache, so
+    a freshly-run campaign makes this nearly instant."""
+    from repro.harness import experiments as exp_mod
+
+    keys = list(experiments) if experiments else list(exp_mod.EXPERIMENTS)
+    out: Dict[str, Dict[str, float]] = {}
+    for key in keys:
+        _title, fn = exp_mod.EXPERIMENTS[key]
+        if fn is None:  # fig4 is sim-free and takes no params
+            _h, _r, summary = exp_mod.fig04_compressibility()
+        else:
+            _h, _r, summary = fn(params)
+        out[key] = {k: float(v) for k, v in summary.items()}
+    return out
+
+
+def build_scoreboard(
+    summaries: Dict[str, Dict[str, float]]
+) -> Dict[str, FidelityScore]:
+    return {
+        experiment: FidelityScore.from_summary(experiment, summary)
+        for experiment, summary in summaries.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# baseline persistence
+
+
+class BaselineContextMismatch(ValueError):
+    """The baseline was recorded at different simulation parameters."""
+
+
+def baseline_payload(
+    scoreboard: Dict[str, FidelityScore],
+    context: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, object]:
+    return {
+        "schema": BASELINE_SCHEMA,
+        "context": dict(context),
+        "tolerance": tolerance,
+        "experiments": {
+            experiment: score.to_dict()
+            for experiment, score in sorted(scoreboard.items())
+        },
+    }
+
+
+def write_baseline(
+    path,
+    scoreboard: Dict[str, FidelityScore],
+    context: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Path:
+    path = Path(path)
+    payload = baseline_payload(scoreboard, context, tolerance)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path) -> Dict[str, object]:
+    """Load a fidelity baseline; raises ``ValueError`` on a non-baseline."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "experiments" not in payload:
+        raise ValueError(f"{path}: not a fidelity baseline")
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: baseline schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    return payload
+
+
+def params_context(params) -> Dict[str, object]:
+    """The parameter context a baseline is pinned to."""
+    from repro.harness.runner import DEFAULT_SCALE
+
+    return {
+        "accesses": params.accesses_per_core,
+        "seed": params.seed,
+        "scale": DEFAULT_SCALE,
+        "warmup_fraction": params.warmup_fraction,
+    }
+
+
+def check_context(
+    baseline: Dict[str, object], context: Dict[str, object]
+) -> None:
+    """Refuse cross-context comparison (it would produce false drift)."""
+    recorded = baseline.get("context", {})
+    if recorded != dict(context):
+        raise BaselineContextMismatch(
+            f"baseline recorded at {recorded!r}, current run is "
+            f"{dict(context)!r}; regenerate the baseline at matching "
+            f"parameters instead of comparing across contexts"
+        )
+
+
+# ---------------------------------------------------------------------------
+# drift detection
+
+
+@dataclass
+class DriftFlag:
+    """One out-of-band movement between baseline and current run."""
+
+    experiment: str
+    key: str
+    kind: str  # "delta-to-paper" | "measured" | "shape" | "missing-baseline"
+    baseline: Optional[float]
+    current: Optional[float]
+    movement: float
+    tolerance: float
+
+    def describe(self) -> str:
+        if self.kind == "shape":
+            return (
+                f"{self.experiment}: shape '{self.key}' flipped "
+                f"{'pass->FAIL' if self.baseline else 'fail->pass'}"
+            )
+        if self.kind == "missing-baseline":
+            return (
+                f"{self.experiment}/{self.key}: no baseline entry "
+                f"(regenerate FIDELITY_baseline.json)"
+            )
+        return (
+            f"{self.experiment}/{self.key} [{self.kind}]: "
+            f"baseline {self.baseline:+.4f} -> current {self.current:+.4f} "
+            f"(moved {self.movement:.4f} > tol {self.tolerance:g})"
+        )
+
+
+def _experiment_tolerance(
+    experiment: str, default: float
+) -> float:
+    return TOLERANCE_OVERRIDES.get(experiment, default)
+
+
+def detect_drift(
+    scoreboard: Dict[str, FidelityScore],
+    baseline: Dict[str, object],
+    tolerance: Optional[float] = None,
+    context: Optional[Dict[str, object]] = None,
+) -> List[DriftFlag]:
+    """Every movement beyond the tolerance band vs the baseline.
+
+    ``context``, when given, must match the baseline's recorded context
+    (raises :class:`BaselineContextMismatch` otherwise).  Per-experiment
+    :data:`TOLERANCE_OVERRIDES` apply on top of the effective default
+    (explicit ``tolerance`` argument, else the baseline's recorded
+    tolerance, else :data:`DEFAULT_TOLERANCE`).
+    """
+    if context is not None:
+        check_context(baseline, context)
+    default = (
+        tolerance
+        if tolerance is not None
+        else float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    )
+    recorded = baseline.get("experiments", {})
+    flags: List[DriftFlag] = []
+    for experiment, score in sorted(scoreboard.items()):
+        tol = _experiment_tolerance(experiment, default)
+        base_exp = recorded.get(experiment)
+        if not isinstance(base_exp, dict):
+            flags.append(
+                DriftFlag(experiment, "*", "missing-baseline", None, None,
+                          float("inf"), tol)
+            )
+            continue
+        base_keys = base_exp.get("keys", {})
+        for ks in score.keys:
+            base_entry = base_keys.get(ks.key)
+            if not isinstance(base_entry, dict):
+                flags.append(
+                    DriftFlag(experiment, ks.key, "missing-baseline",
+                              None, ks.measured, float("inf"), tol)
+                )
+                continue
+            if ks.delta_to_paper is not None and "delta_to_paper" in base_entry:
+                base_delta = float(base_entry["delta_to_paper"])
+                movement = abs(ks.delta_to_paper - base_delta)
+                if movement > tol:
+                    flags.append(
+                        DriftFlag(experiment, ks.key, "delta-to-paper",
+                                  base_delta, ks.delta_to_paper, movement,
+                                  tol)
+                    )
+            else:
+                base_measured = float(base_entry.get("measured", 0.0))
+                movement = abs(ks.measured - base_measured) / max(
+                    abs(base_measured), 1.0
+                )
+                if movement > tol:
+                    flags.append(
+                        DriftFlag(experiment, ks.key, "measured",
+                                  base_measured, ks.measured, movement, tol)
+                    )
+        base_shapes = base_exp.get("shapes", {})
+        for label, passed in score.shapes.items():
+            recorded_pass = base_shapes.get(label)
+            if recorded_pass is not None and bool(recorded_pass) != passed:
+                flags.append(
+                    DriftFlag(experiment, label, "shape",
+                              float(bool(recorded_pass)), float(passed),
+                              1.0, tol)
+                )
+    return flags
+
+
+# ---------------------------------------------------------------------------
+# rendering (shared by the CLI scoreboard and the flight report)
+
+
+def format_scoreboard(
+    scoreboard: Dict[str, FidelityScore],
+    flags: Optional[List[DriftFlag]] = None,
+) -> str:
+    """Human table: one row per graded key, one per shape check."""
+    flagged = {
+        (flag.experiment, flag.key) for flag in (flags or [])
+    }
+    lines = [
+        f"{'experiment':10s} {'key':26s} {'measured':>10s} "
+        f"{'paper':>8s} {'delta':>8s}  status"
+    ]
+    for experiment, score in sorted(scoreboard.items()):
+        for ks in score.keys:
+            delta = ks.delta_to_paper
+            status = "DRIFT" if (experiment, ks.key) in flagged else "ok"
+            lines.append(
+                f"{experiment:10s} {ks.key:26s} {ks.measured:10.3f} "
+                + (f"{ks.paper:8.3f} {delta:+8.1%}" if delta is not None
+                   else f"{'-':>8s} {'-':>8s}")
+                + f"  {status}"
+            )
+        for label, passed in score.shapes.items():
+            status = "DRIFT" if (experiment, label) in flagged else (
+                "pass" if passed else "fail(recorded)"
+            )
+            lines.append(
+                f"{experiment:10s} shape: {label:48s} {status}"
+            )
+    return "\n".join(lines)

@@ -69,11 +69,25 @@ class Gauge:
         self.value = 0.0
 
 
+def _escape_label(value: object) -> str:
+    """Escape the separator characters inside one label key or value.
+
+    Without escaping, ``{"a": "1,b=2"}`` and ``{"a": "1", "b": "2"}``
+    would render to the same key and silently share one instrument.
+    """
+    text = str(value)
+    for char in ("\\", ",", "=", "{", "}"):
+        text = text.replace(char, "\\" + char)
+    return text
+
+
 def metric_key(name: str, labels: Dict[str, object]) -> str:
     """Canonical identity of a metric: ``name`` or ``name{k=v,...}``."""
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(
+        f"{_escape_label(k)}={_escape_label(labels[k])}" for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 
@@ -121,6 +135,32 @@ class MetricsRegistry:
 
     def get(self, name: str, **labels) -> Optional[object]:
         return self._metrics.get(metric_key(name, labels))
+
+    def quantiles(self, name: str, **labels) -> Optional[Dict[str, float]]:
+        """Quantile summary of a histogram or tracker instrument.
+
+        Returns ``None`` — instead of raising — for an unknown instrument,
+        for an instrument kind that has no distribution (counter/gauge),
+        and for an *empty* histogram or tracker, so report code can poll
+        before any samples arrive.  Histograms yield their latency
+        p50/p95/p99; trackers yield per-window byte-count quantiles.
+        """
+        metric = self._metrics.get(metric_key(name, labels))
+        if isinstance(metric, LatencyHistogram):
+            if metric.total == 0:
+                return None
+            return dict(metric.quantiles())
+        if isinstance(metric, BandwidthTracker):
+            windows = sorted(
+                nbytes for _, nbytes in metric.to_dict()["windows"]
+            )
+            if not windows:
+                return None
+            def rank(p: float) -> float:
+                index = max(0, int(len(windows) * p / 100.0 + 0.5) - 1)
+                return float(windows[min(index, len(windows) - 1)])
+            return {"p50": rank(50), "p95": rank(95), "p99": rank(99)}
+        return None
 
     # -- collectors ----------------------------------------------------------
 

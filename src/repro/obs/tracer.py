@@ -195,9 +195,20 @@ def read_events(path) -> List[dict]:
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError as exc:
+                # covers truncated trailing lines from a killed writer too
                 raise ValueError(f"{path}:{line_no + 1}: not JSONL: {exc}")
+            if not isinstance(obj, dict):
+                raise ValueError(
+                    f"{path}:{line_no + 1}: not a trace event "
+                    f"(got {type(obj).__name__}, expected object)"
+                )
             if "meta" in obj and line_no == 0:
                 continue
+            if "name" not in obj or "cat" not in obj:
+                raise ValueError(
+                    f"{path}:{line_no + 1}: not a trace event "
+                    f"(missing 'name'/'cat' — is this really a trace file?)"
+                )
             events.append(obj)
     return events
 
@@ -219,7 +230,7 @@ def summarize_trace(path) -> Dict[str, object]:
         by_phase[phase] = by_phase.get(phase, 0) + 1
         if event["name"] == "l4.read":
             bucket = l4.setdefault(phase, {"hits": 0, "misses": 0})
-            bucket["hits" if event["args"].get("hit") else "misses"] += 1
+            bucket["hits" if event.get("args", {}).get("hit") else "misses"] += 1
         if event.get("ph") == "X":
             spans.setdefault(event["name"], LatencyHistogram()).record(
                 max(0, int(event.get("dur", 0)))

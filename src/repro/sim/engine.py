@@ -102,7 +102,10 @@ def run_workload(
     params = params or SimulationParams()
     run_obs = obs.begin_run(f"{workload}x{config.name}")
     tracer = run_obs.tracer
+    prof = run_obs.profiler
     started = time.perf_counter()
+    if prof.enabled:
+        prof.enter("sim")
     generators = _build_generators(workload, config, params)
     system = MemorySystem(
         config,
@@ -150,9 +153,20 @@ def run_workload(
 
     while heap:
         now, core = heapq.heappop(heap)
-        access = next(iters[core])
-        t = times[core] + access.inst_gap / ipc
-        finish = system.handle_access(access, int(t))
+        if prof.enabled:
+            # Duplicated branch keeps the unprofiled loop body untouched:
+            # no frame bookkeeping, no extra attribute loads per access.
+            prof.enter("workload.gen")
+            access = next(iters[core])
+            prof.exit()
+            t = times[core] + access.inst_gap / ipc
+            prof.enter("system.access")
+            finish = system.handle_access(access, int(t))
+            prof.exit(max(0, int(finish - t)))
+        else:
+            access = next(iters[core])
+            t = times[core] + access.inst_gap / ipc
+            finish = system.handle_access(access, int(t))
         stall = max(0.0, (finish - t) / mlp)
         times[core] = t + stall
         insts[core] += access.inst_gap
@@ -254,6 +268,8 @@ def run_workload(
             max(1, end_cycle - reset_cycle),
             instructions=window_insts,
         )
+    if prof.enabled:
+        prof.exit(int(window_cycles))  # close the root "sim" frame
     obs.finish_run(run_obs, result.manifest)
     return result
 
@@ -276,7 +292,10 @@ def run_trace(
     line_data = getattr(trace, "line_data", lambda _addr: bytes(64))
     run_obs = obs.begin_run(f"{name}x{config.name}")
     tracer = run_obs.tracer
+    prof = run_obs.profiler
     started = time.perf_counter()
+    if prof.enabled:
+        prof.enter("sim")
     system = MemorySystem(config, line_data, obs=run_obs)
     ipc = config.core.base_ipc
     mlp = config.core.mlp
@@ -333,5 +352,7 @@ def run_trace(
     result.manifest = obs.build_manifest(
         name, config, elapsed_s=time.perf_counter() - started
     )
+    if prof.enabled:
+        prof.exit(int(cycles))
     obs.finish_run(run_obs, result.manifest)
     return result

@@ -20,7 +20,7 @@ from repro.dram.mainmemory import MainMemory
 from repro.dramcache.alloy import AlloyCache, L4ReadResult
 from repro.dramcache.mapi import MAPIPredictor
 from repro.dramcache.scc import SCCDRAMCache
-from repro.obs import RunObservability
+from repro.obs import RunObservability, instrument_method
 from repro.resilience.ecc import CORRECTED, DETECTED
 from repro.resilience.injector import FaultInjector
 from repro.sim.prefetch import prefetch_target
@@ -95,6 +95,31 @@ class MemorySystem:
             self.l4.device.trace_cat = "dram.l4"
             self.memory.device.tracer = self.tracer
             self.memory.device.trace_cat = "dram.mem"
+        self.prof = self.obs.profiler
+        if self.prof.enabled:
+            # Component attribution: wrap the *instances'* hot methods in
+            # profiler frames.  Applied only when profiling is enabled, so
+            # unprofiled runs keep the original unwrapped bound methods.
+            # The compressor instance is shared with the pair-size cache,
+            # so one wrap covers both install- and probe-side codec calls.
+            prof = self.prof
+            instrument_method(self.mapi, "predict_miss", "mapi.predict", prof)
+            compressor = getattr(self.l4, "compressor", None)
+            if compressor is not None:
+                instrument_method(
+                    compressor, "compressed_size", "codec.compressed_size",
+                    prof,
+                )
+            cip = getattr(self.l4, "cip", None)
+            if cip is not None:
+                instrument_method(cip, "predict_bai", "cip.predict", prof)
+            instrument_method(
+                self.l4, "choose_index", "dice.choose_index", prof
+            )
+            instrument_method(self.l4.device, "access", "dram.l4.access", prof)
+            instrument_method(
+                self.memory.device, "access", "dram.mem.access", prof
+            )
 
     # registry-backed counters, exposed as the plain ints tests and the
     # harness have always read
@@ -163,7 +188,13 @@ class MemorySystem:
         t = now + self.config.l3.latency_cycles
         predicted_miss = self.mapi.predict_miss(access.pc)
 
-        result = self.l4.read(line, t, access.pc)
+        prof = self.prof
+        if prof.enabled:
+            prof.enter("l4.lookup")
+            result = self.l4.read(line, t, access.pc)
+            prof.exit(max(0, int(result.finish_cycle - t)))
+        else:
+            result = self.l4.read(line, t, access.pc)
         tracer = self.tracer
         if tracer.enabled:
             # Emitted before fault filtering so the event stream replays to
@@ -195,7 +226,12 @@ class MemorySystem:
         else:
             self.mapi.update(access.pc, was_miss=True)
             mem_arrival = t if predicted_miss else result.finish_cycle
-            data, mem_res = self.memory.read(line, mem_arrival)
+            if prof.enabled:
+                prof.enter("dram.mainmemory")
+                data, mem_res = self.memory.read(line, mem_arrival)
+                prof.exit(max(0, int(mem_res.finish_cycle - mem_arrival)))
+            else:
+                data, mem_res = self.memory.read(line, mem_arrival)
             self._install_l4(
                 line, data, mem_res.finish_cycle, after_demand_read=True
             )
@@ -294,13 +330,25 @@ class MemorySystem:
     def _install_l4(
         self, line_addr: int, data: bytes, now: int, *, after_demand_read: bool
     ) -> None:
-        wres = self.l4.install(
-            line_addr,
-            data,
-            now,
-            dirty=not after_demand_read,
-            after_demand_read=after_demand_read,
-        )
+        prof = self.prof
+        if prof.enabled:
+            prof.enter("l4.install")
+            wres = self.l4.install(
+                line_addr,
+                data,
+                now,
+                dirty=not after_demand_read,
+                after_demand_read=after_demand_read,
+            )
+            prof.exit(max(0, int(wres.finish_cycle - now)))
+        else:
+            wres = self.l4.install(
+                line_addr,
+                data,
+                now,
+                dirty=not after_demand_read,
+                after_demand_read=after_demand_read,
+            )
         for victim_addr, victim_data in wres.writebacks:
             self.memory.write(victim_addr, victim_data, wres.finish_cycle)
 
@@ -313,7 +361,13 @@ class MemorySystem:
         if target is None or self.hierarchy.l3.contains(target):
             return
         self._prefetch_issued.inc()
-        result = self.l4.read(target, now, pc=0)
+        prof = self.prof
+        if prof.enabled:
+            prof.enter("l4.prefetch_probe")
+            result = self.l4.read(target, now, pc=0)
+            prof.exit(max(0, int(result.finish_cycle - now)))
+        else:
+            result = self.l4.read(target, now, pc=0)
         if self.tracer.enabled:
             # prefetch probes hit the same L4 counters as demand reads, so
             # the replayable event stream must cover them too

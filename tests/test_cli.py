@@ -128,3 +128,110 @@ def test_parallel_failure_names_job_drains_and_exits_3(capsys):
     assert "drained" in err  # the rest of the campaign was not aborted
     # drained-and-cached means a retry only repeats the one failure
     assert main(["fig13", "--accesses", "100", "--jobs", "2"]) == 0
+
+
+class TestTraceCommandRobustness:
+    """`trace summarize` must exit 2 with a message, never traceback."""
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_empty_file_is_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 2
+        assert "holds no trace events" in capsys.readouterr().err
+
+    def test_meta_only_file_is_usage_error(self, tmp_path, capsys):
+        meta_only = tmp_path / "meta.jsonl"
+        meta_only.write_text('{"meta": {"run": "mcf"}}\n')
+        assert main(["trace", "summarize", str(meta_only)]) == 2
+        assert "holds no trace events" in capsys.readouterr().err
+
+    def test_truncated_jsonl_is_usage_error(self, tmp_path, capsys):
+        truncated = tmp_path / "cut.jsonl"
+        truncated.write_text(
+            '{"meta": {"run": "mcf"}}\n'
+            '{"name": "l4.read", "cat": "l4", "ph": "i", "ts":'  # killed writer
+        )
+        assert main(["trace", "summarize", str(truncated)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_non_trace_json_is_usage_error(self, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        other.write_text('{"some": "dict"}\n')
+        assert main(["trace", "summarize", str(other)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestManifestCommandRobustness:
+    """`manifest show --shard` must exit 2 with a message, never traceback."""
+
+    def test_missing_shard_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["manifest", "show", "--shard", str(missing)]) == 2
+        assert "cannot read shard" in capsys.readouterr().err
+
+    def test_corrupt_shard_is_usage_error(self, tmp_path, capsys):
+        corrupt = tmp_path / "shard.json"
+        corrupt.write_text("{truncated")
+        assert main(["manifest", "show", "--shard", str(corrupt)]) == 2
+        assert "cannot read shard" in capsys.readouterr().err
+
+    def test_non_object_shard_is_usage_error(self, tmp_path, capsys):
+        wrong = tmp_path / "shard.json"
+        wrong.write_text("[1, 2, 3]")
+        assert main(["manifest", "show", "--shard", str(wrong)]) == 2
+        assert "not a cache shard" in capsys.readouterr().err
+
+    def test_uncached_lookup_is_usage_error(self, capsys):
+        assert main(["manifest", "show", "mcf", "dice",
+                     "--accesses", "12345"]) == 2
+        assert "no cached result" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_requires_flight_mode(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["report"])
+        assert exc_info.value.code == 2
+        assert "--flight" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "report", "--flight", "--experiments", "fig99",
+                "--out", str(tmp_path / "r.md"),
+            ])
+        assert exc_info.value.code == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_check_without_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "report", "--flight", "--check",
+            "--experiments", "fig13", "--accesses", "100",
+            "--baseline", str(tmp_path / "missing.json"),
+            "--out", str(tmp_path / "r.md"),
+        ]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_update_then_check_roundtrip(self, tmp_path, capsys):
+        baseline = tmp_path / "FIDELITY_baseline.json"
+        out = tmp_path / "r.md"
+        assert main([
+            "report", "--flight", "--experiments", "fig13",
+            "--accesses", "100", "--baseline", str(baseline),
+            "--update-baseline", "--out", str(out),
+        ]) == 0
+        assert baseline.exists()
+        # deterministic sims: the re-scored run is in-band by construction
+        assert main([
+            "report", "--flight", "--check", "--experiments", "fig13",
+            "--accesses", "100", "--baseline", str(baseline),
+            "--out", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "Flight recorder report" in text
+        assert "gmean" in text
+        assert "all rows in-band" in capsys.readouterr().out

@@ -1,0 +1,231 @@
+"""Fidelity scoreboard tests: grading, baseline roundtrip, drift flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.obs import fidelity
+from repro.obs.fidelity import (
+    BaselineContextMismatch,
+    FidelityScore,
+    KeyScore,
+    PAPER_TARGETS,
+    build_scoreboard,
+    detect_drift,
+    evaluate_shapes,
+    format_scoreboard,
+    load_baseline,
+    paper_value,
+    shape_label,
+    write_baseline,
+)
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    """Keep collect_summaries' simulations out of the shared caches."""
+    monkeypatch.setattr(runner_mod, "_DISK_CACHE", False)
+    runner_mod.drop_memory_state()
+    yield
+    runner_mod.drop_memory_state()
+
+
+FIG10_GOOD = {
+    "tsi/ALL26": 1.068,
+    "bai/ALL26": 1.002,
+    "dice/ALL26": 1.191,
+    "2xcap2xbw/ALL26": 1.217,
+}
+
+CONTEXT = {"accesses": 300, "seed": 7, "scale": 4096,
+           "warmup_fraction": 0.35}
+
+
+def scoreboard_for(summary, experiment="fig10"):
+    return build_scoreboard({experiment: summary})
+
+
+class TestTargetsAndScoring:
+    def test_targets_cover_every_figure_and_table(self):
+        for key in ("fig1", "fig10", "table5", "cip"):
+            assert key in PAPER_TARGETS
+
+    def test_paper_value_lookup(self):
+        assert paper_value("fig10", "dice/ALL26") == 1.19
+        assert paper_value("fig10", "nonexistent") is None
+        assert paper_value("nonexistent", "x") is None
+
+    def test_analysis_paper_reexports_the_same_table(self):
+        from repro.analysis.paper import PAPER_REFERENCE
+
+        assert PAPER_REFERENCE is PAPER_TARGETS
+
+    def test_key_score_delta(self):
+        ks = KeyScore("dice/ALL26", measured=1.19 * 1.02, paper=1.19)
+        assert ks.delta_to_paper == pytest.approx(0.02)
+        assert KeyScore("x", 1.0, paper=None).delta_to_paper is None
+
+    def test_from_summary_grades_and_shapes(self):
+        score = FidelityScore.from_summary("fig10", FIG10_GOOD)
+        assert score.worst_delta < 0.01
+        assert score.shapes_passed == len(score.shapes) == 3
+        payload = score.to_dict()
+        assert payload["keys"]["dice/ALL26"]["paper"] == 1.19
+        assert all(payload["shapes"].values())
+
+    def test_shape_ordering_failure_is_recorded(self):
+        flipped = dict(FIG10_GOOD, **{"dice/ALL26": 0.99})
+        shapes = evaluate_shapes("fig10", flipped)
+        assert shapes[shape_label(("gt", "dice/ALL26", "tsi/ALL26"))] is False
+
+    def test_missing_summary_key_fails_the_shape(self):
+        shapes = evaluate_shapes("fig10", {"tsi/ALL26": 1.0})
+        assert not all(shapes.values())
+
+    def test_every_shape_check_references_real_ops(self):
+        for experiment, checks in fidelity.SHAPE_CHECKS.items():
+            for check in checks:
+                assert shape_label(check)  # raises on an unknown op
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        board = scoreboard_for(FIG10_GOOD)
+        path = write_baseline(tmp_path / "b.json", board, CONTEXT)
+        payload = load_baseline(path)
+        assert payload["schema"] == fidelity.BASELINE_SCHEMA
+        assert payload["context"] == CONTEXT
+        keys = payload["experiments"]["fig10"]["keys"]
+        assert keys["dice/ALL26"]["measured"] == FIG10_GOOD["dice/ALL26"]
+        assert "delta_to_paper" in keys["dice/ALL26"]
+
+    def test_load_rejects_non_baselines(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nope")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_baseline(bad)
+        bad.write_text('{"schema": 99, "experiments": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="not a fidelity baseline"):
+            load_baseline(bad)
+
+    def test_context_mismatch_refuses_comparison(self, tmp_path):
+        board = scoreboard_for(FIG10_GOOD)
+        path = write_baseline(tmp_path / "b.json", board, CONTEXT)
+        baseline = load_baseline(path)
+        other = dict(CONTEXT, accesses=6000)
+        with pytest.raises(BaselineContextMismatch):
+            detect_drift(board, baseline, context=other)
+
+
+class TestDriftDetection:
+    def baseline(self, tmp_path, summary=FIG10_GOOD):
+        path = write_baseline(
+            tmp_path / "b.json", scoreboard_for(summary), CONTEXT
+        )
+        return load_baseline(path)
+
+    def test_in_band_run_is_not_flagged(self, tmp_path):
+        """Satellite: a run whose Fig 10 delta stays inside the band."""
+        baseline = self.baseline(tmp_path)
+        # dice moves by ~1.7% of the paper value: inside the 5% band
+        nudged = dict(FIG10_GOOD, **{"dice/ALL26": 1.211})
+        flags = detect_drift(
+            scoreboard_for(nudged), baseline, context=CONTEXT
+        )
+        assert flags == []
+
+    def test_fig10_delta_crossing_the_band_is_flagged(self, tmp_path):
+        """Satellite: a Fig 10 delta-to-paper crossing the band flags."""
+        baseline = self.baseline(tmp_path)
+        # dice jumps from +0.1% to +8.5% vs the paper: movement > 5%
+        drifted = dict(FIG10_GOOD, **{"dice/ALL26": 1.19 * 1.085})
+        flags = detect_drift(scoreboard_for(drifted), baseline)
+        assert len(flags) == 1
+        flag = flags[0]
+        assert (flag.experiment, flag.key) == ("fig10", "dice/ALL26")
+        assert flag.kind == "delta-to-paper"
+        assert flag.movement > 0.05
+        assert "dice/ALL26" in flag.describe()
+
+    def test_shape_flip_is_flagged_even_in_magnitude_band(self, tmp_path):
+        baseline = self.baseline(tmp_path)
+        # tiny magnitude change, but it flips dice > tsi
+        flipped = dict(
+            FIG10_GOOD, **{"dice/ALL26": 1.067, "tsi/ALL26": 1.068}
+        )
+        flags = detect_drift(scoreboard_for(flipped), baseline)
+        kinds = {flag.kind for flag in flags}
+        assert "shape" in kinds
+
+    def test_standing_shape_failure_does_not_flag(self, tmp_path):
+        """A shape failing at baseline time only flags when it *changes*."""
+        failing = dict(FIG10_GOOD, **{"dice/ALL26": 0.95})
+        baseline = self.baseline(tmp_path, failing)
+        flags = detect_drift(scoreboard_for(failing), baseline)
+        assert flags == []
+
+    def test_non_paper_key_uses_relative_measured_movement(self, tmp_path):
+        summary = {"custom/metric": 10.0}
+        baseline = self.baseline(tmp_path, summary)
+        ok = detect_drift(scoreboard_for({"custom/metric": 10.2}), baseline)
+        assert ok == []
+        moved = detect_drift(
+            scoreboard_for({"custom/metric": 12.0}), baseline
+        )
+        assert [flag.kind for flag in moved] == ["measured"]
+
+    def test_missing_baseline_entry_is_flagged(self, tmp_path):
+        baseline = self.baseline(tmp_path)
+        board = build_scoreboard(
+            {"fig10": FIG10_GOOD, "fig13": {"gmean": 1.0}}
+        )
+        flags = detect_drift(board, baseline)
+        assert any(flag.kind == "missing-baseline" for flag in flags)
+
+    def test_tolerance_override_applies_per_experiment(self, tmp_path):
+        summary = {"dice/faults": 4.0}
+        path = write_baseline(
+            tmp_path / "b.json", build_scoreboard({"faults": summary}),
+            CONTEXT,
+        )
+        baseline = load_baseline(path)
+        # 10% movement: outside the default 5% band, inside faults' 25%
+        board = build_scoreboard({"faults": {"dice/faults": 4.4}})
+        assert detect_drift(board, baseline) == []
+
+    def test_explicit_tolerance_wins(self, tmp_path):
+        baseline = self.baseline(tmp_path)
+        drifted = dict(FIG10_GOOD, **{"dice/ALL26": 1.19 * 1.085})
+        board = scoreboard_for(drifted)
+        assert detect_drift(board, baseline, tolerance=0.5) == []
+        assert detect_drift(board, baseline, tolerance=0.01)
+
+
+class TestRendering:
+    def test_format_scoreboard_marks_drifted_rows(self, tmp_path):
+        board = scoreboard_for(FIG10_GOOD)
+        path = write_baseline(tmp_path / "b.json", board, CONTEXT)
+        drifted = dict(FIG10_GOOD, **{"dice/ALL26": 1.19 * 1.085})
+        drifted_board = scoreboard_for(drifted)
+        flags = detect_drift(drifted_board, load_baseline(path))
+        text = format_scoreboard(drifted_board, flags)
+        assert "DRIFT" in text
+        assert "dice/ALL26" in text
+        clean = format_scoreboard(board, [])
+        assert "DRIFT" not in clean
+
+
+class TestCollectSummaries:
+    def test_collects_requested_experiments_via_drivers(self):
+        from repro.sim.engine import SimulationParams
+
+        summaries = fidelity.collect_summaries(
+            SimulationParams(accesses_per_core=100), ["fig13"]
+        )
+        assert set(summaries) == {"fig13"}
+        assert "gmean" in summaries["fig13"]

@@ -1,0 +1,217 @@
+"""Flight-recorder report tests: assembly, rendering, campaign timings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import flight
+from repro.analysis.flight import (
+    build_flight_data,
+    load_campaign_flight,
+    render_html,
+    render_markdown,
+    write_flight_report,
+)
+from repro.harness.campaign import Campaign
+from repro.obs.fidelity import (
+    build_scoreboard,
+    detect_drift,
+    load_baseline,
+    write_baseline,
+)
+
+SUMMARY = {
+    "tsi/ALL26": 1.068,
+    "bai/ALL26": 1.002,
+    "dice/ALL26": 1.191,
+    "2xcap2xbw/ALL26": 1.217,
+}
+
+CONTEXT = {"accesses": 300, "seed": 7, "scale": 4096,
+           "warmup_fraction": 0.35}
+
+
+def make_board():
+    return build_scoreboard({"fig10": SUMMARY})
+
+
+def make_profile():
+    return {
+        "meta": {"run": "mcf"},
+        "frames": [
+            {"stack": "sim", "calls": 1, "wall_s": 1.0,
+             "self_wall_s": 0.1, "cycles": 5000},
+            {"stack": "sim;system.access", "calls": 300, "wall_s": 0.9,
+             "self_wall_s": 0.6, "cycles": 4000},
+            {"stack": "sim;system.access;l4.lookup", "calls": 300,
+             "wall_s": 0.3, "self_wall_s": 0.3, "cycles": 2000},
+        ],
+    }
+
+
+class TestBuildFlightData:
+    def test_payload_shape_with_everything(self):
+        data = build_flight_data(
+            make_board(),
+            [],
+            context=CONTEXT,
+            baseline_path="FIDELITY_baseline.json",
+            campaign={"steps": [{"name": "fig10", "seconds": 1.5}],
+                      "total_seconds": 1.5},
+            profile=make_profile(),
+            metrics={"metrics": {"counters": {"l4.hits": 10},
+                                 "gauges": {"ipc": 0.91}}},
+            trace_summary=None,
+            top=2,
+        )
+        assert data["version"] == flight.FLIGHT_DATA_VERSION
+        assert len(data["profile_top"]) == 2
+        assert data["profile_meta"] == {"run": "mcf"}
+        assert data["trace_summary"] is None
+
+    def test_absent_inputs_default_to_none(self):
+        data = build_flight_data(make_board())
+        assert data["baseline_path"] is None
+        assert data["campaign"] is None
+        assert data["profile_top"] is None
+        assert data["metrics"] is None
+
+
+class TestRenderMarkdown:
+    def test_full_report_has_every_section(self):
+        data = build_flight_data(
+            make_board(),
+            [],
+            context=CONTEXT,
+            baseline_path="FIDELITY_baseline.json",
+            campaign={"steps": [{"name": "fig10", "seconds": 1.5}],
+                      "total_seconds": 1.5},
+            profile=make_profile(),
+            metrics={"metrics": {"counters": {"l4.hits": 10},
+                                 "gauges": {"ipc": 0.91}}},
+        )
+        text = render_markdown(data)
+        assert "# Flight recorder report" in text
+        assert "accesses=300" in text
+        assert "all rows in-band" in text
+        assert "dice/ALL26" in text          # scoreboard row
+        assert "| fig10 | 1.50 |" in text    # campaign timing
+        assert "`sim;system.access`" in text  # profile frame
+        assert "`l4.hits` | 10" in text      # metrics counter
+        assert "_No trace summarized" in text
+
+    def test_absent_sections_render_placeholders(self):
+        text = render_markdown(build_flight_data(make_board()))
+        assert "**Drift:** not checked" in text
+        assert "_No campaign timing data" in text
+        assert "_No profile recorded" in text
+        assert "_No metrics snapshot" in text
+        assert "_No trace summarized" in text
+
+    def test_drift_flags_appear_in_verdict(self, tmp_path):
+        board = make_board()
+        path = write_baseline(tmp_path / "b.json", board, CONTEXT)
+        drifted = build_scoreboard(
+            {"fig10": dict(SUMMARY, **{"dice/ALL26": 1.19 * 1.085})}
+        )
+        flags = detect_drift(drifted, load_baseline(path))
+        text = render_markdown(
+            build_flight_data(
+                drifted, flags, baseline_path=str(path)
+            )
+        )
+        assert "out-of-band movement" in text
+        assert "dice/ALL26" in text
+        assert "DRIFT" in text
+
+    def test_empty_metrics_snapshot_is_called_out(self):
+        text = render_markdown(
+            build_flight_data(make_board(), metrics={"metrics": {}})
+        )
+        assert "holds no counters or gauges" in text
+
+
+class TestRenderHtml:
+    def test_html_is_self_contained_and_escaped(self):
+        data = build_flight_data(make_board())
+        text = render_html(data)
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<style>" in text
+        # markdown content is escaped, not interpreted
+        assert "**Drift:**" in text
+        assert "<script" not in text
+
+
+class TestWriteFlightReport:
+    def test_writes_markdown_and_html(self, tmp_path):
+        data = build_flight_data(make_board())
+        md = write_flight_report(tmp_path / "r.md", data, "md")
+        assert md.read_text().startswith("# Flight recorder report")
+        page = write_flight_report(tmp_path / "r.html", data, "html")
+        assert page.read_text().startswith("<!DOCTYPE html>")
+
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            write_flight_report(
+                tmp_path / "r.pdf", build_flight_data(make_board()), "pdf"
+            )
+
+
+class TestLoadCampaignFlight:
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_campaign_flight(tmp_path / "nope.json") is None
+
+    def test_corrupt_or_unshaped_files_return_none(self, tmp_path):
+        bad = tmp_path / "flight.json"
+        bad.write_text("{corrupt")
+        assert load_campaign_flight(bad) is None
+        bad.write_text(json.dumps(["not", "a", "dict"]))
+        assert load_campaign_flight(bad) is None
+        bad.write_text(json.dumps({"no": "steps"}))
+        assert load_campaign_flight(bad) is None
+
+    def test_roundtrip_from_campaign(self, tmp_path):
+        campaign = Campaign(
+            [("fig10", lambda: None), ("fig13", lambda: None)],
+            checkpoint_path=tmp_path / "ckpt.json",
+        )
+        campaign.timings = {"fig10": 1.25, "fig13": 0.75}
+        out = campaign.write_flight_data(tmp_path / "flight.json")
+        payload = load_campaign_flight(out)
+        assert payload is not None
+        names = [step["name"] for step in payload["steps"]]
+        assert names == ["fig10", "fig13"]
+        assert payload["total_seconds"] == pytest.approx(2.0)
+
+
+class TestCampaignTimings:
+    def test_run_records_per_step_wall_time(self, tmp_path):
+        campaign = Campaign(
+            [("step_a", lambda: "a"), ("step_b", lambda: "b")],
+            checkpoint_path=tmp_path / "ckpt.json",
+        )
+        campaign.run()
+        assert set(campaign.timings) == {"step_a", "step_b"}
+        assert all(t >= 0 for t in campaign.timings.values())
+        payload = campaign.flight_payload()
+        assert [s["name"] for s in payload["steps"]] == ["step_a", "step_b"]
+        assert payload["skipped"] == []
+
+    def test_skipped_steps_have_no_timing(self, tmp_path):
+        first = Campaign(
+            [("step_a", lambda: "a")],
+            checkpoint_path=tmp_path / "ckpt.json",
+            context="ctx",
+        )
+        # simulate a killed campaign: step_a checkpointed as complete
+        first._save_checkpoint(["step_a"])
+        second = Campaign(
+            [("step_a", lambda: "a"), ("step_b", lambda: "b")],
+            checkpoint_path=tmp_path / "ckpt.json",
+            context="ctx",
+        )
+        second.run()
+        assert "step_a" not in second.timings
+        assert second.flight_payload()["skipped"] == ["step_a"]

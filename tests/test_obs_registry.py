@@ -112,3 +112,76 @@ class TestRegistry:
         assert payload["gauges"] == {"g": 1.5}
         assert payload["histograms"]["h"]["total"] == 1
         assert payload["trackers"]["t"]["windows"] == [[0, 80]]
+
+
+class TestLabelEscaping:
+    """Separator characters in label values must not collide keys."""
+
+    def test_adversarial_value_does_not_alias_two_labels(self):
+        hostile = metric_key("m", {"a": "1,b=2"})
+        honest = metric_key("m", {"a": "1", "b": "2"})
+        assert hostile != honest
+
+    def test_escaped_keys_stay_distinct_instruments(self):
+        registry = MetricsRegistry()
+        hostile = registry.counter("m", a="1,b=2")
+        honest = registry.counter("m", a="1", b="2")
+        assert hostile is not honest
+        hostile.inc(5)
+        assert honest.value == 0
+
+    def test_braces_and_backslashes_escape(self):
+        plain = metric_key("m", {"k": "v"})
+        for tricky in ("v}", "{v", "v\\", "k=v"):
+            assert metric_key("m", {"k": tricky}) != plain
+
+    def test_label_keys_are_escaped_too(self):
+        assert metric_key("m", {"a=b": "v"}) != metric_key("m", {"a": "b=v"})
+
+
+class TestQuantiles:
+    """registry.quantiles() returns None instead of raising on empties."""
+
+    def test_unknown_instrument_returns_none(self):
+        assert MetricsRegistry().quantiles("nope") is None
+
+    def test_counter_and_gauge_have_no_distribution(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.0)
+        assert registry.quantiles("c") is None
+        assert registry.quantiles("g") is None
+
+    def test_empty_histogram_returns_none(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert registry.quantiles("h") is None
+
+    def test_empty_tracker_returns_none(self):
+        registry = MetricsRegistry()
+        registry.tracker("t")
+        assert registry.quantiles("t") is None
+
+    def test_populated_histogram_yields_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for latency in (10, 20, 400):
+            histogram.record(latency)
+        quantiles = registry.quantiles("h")
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p50"] <= quantiles["p99"]
+
+    def test_populated_tracker_yields_window_quantiles(self):
+        registry = MetricsRegistry()
+        tracker = registry.tracker("t", window_cycles=100)
+        tracker.record(10, 64)
+        tracker.record(150, 128)
+        quantiles = registry.quantiles("t")
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p99"] == 128.0
+
+    def test_quantiles_respect_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", chan="a").record(5)
+        assert registry.quantiles("h", chan="a") is not None
+        assert registry.quantiles("h", chan="b") is None
