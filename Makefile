@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check bench bench-parallel bench-core report flight examples clean
+.PHONY: install test check bench bench-parallel bench-core bench-gate report flight examples clean
 
 install:
 	python setup.py develop
@@ -20,9 +20,17 @@ bench:
 bench-parallel:
 	PYTHONPATH=src python scripts/bench_parallel.py
 
-# Hot-path throughput per design config; writes BENCH_core.json.
+# Hot-path throughput per design config; refreshes the committed baseline.
 bench-core:
-	PYTHONPATH=src python scripts/bench_core.py --min-throughput 2000
+	PYTHONPATH=src python scripts/bench_core.py --min-throughput 4000
+
+# The CI perf gate, runnable locally: floor + tolerance band against the
+# committed BENCH_core.json baseline (fresh numbers go to BENCH_core.ci.json).
+bench-gate:
+	PYTHONPATH=src python scripts/bench_core.py \
+		--min-throughput 4000 \
+		--baseline BENCH_core.json --band 0.25 \
+		--out BENCH_core.ci.json
 
 report:
 	python -m repro.analysis.report EXPERIMENTS.md
@@ -41,7 +49,7 @@ clean:
 	rm -f .sim_cache.json .sim_cache.json.migrated .sim_cache.corrupt.json
 	rm -rf .sim_cache.d
 	rm -f .campaign_checkpoint.json BENCH_parallel.json
-	rm -f .campaign_flight.json BENCH_core.json FLIGHT_report.md FLIGHT_report.html
+	rm -f .campaign_flight.json BENCH_core.ci.json FLIGHT_report.md FLIGHT_report.html
 	rm -f *.prof.json *.collapsed.txt
 	rm -f test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -13,6 +13,13 @@ config's accesses/sec) is the CI perf-regression gate: a PR that halves
 hot-path speed fails here even though every functional test passes.
 Each (workload, config) cell runs ``--repeats`` times and keeps the
 fastest wall time, which filters scheduler noise on loaded CI machines.
+
+``--baseline BENCH_core.json`` additionally compares every cell against a
+committed baseline report within a tolerance band (``--band 0.5`` allows a
+cell to drop to 50% of its baseline rate before failing — machines differ,
+so the band is wide; the floor catches catastrophic regressions, the band
+catches broad erosion).  The per-cell delta table goes to stderr and, when
+``GITHUB_STEP_SUMMARY`` is set, to the CI job summary.
 """
 
 from __future__ import annotations
@@ -63,6 +70,11 @@ def main(argv=None) -> int:
                         help="timed repetitions per cell; fastest wins")
     parser.add_argument("--min-throughput", type=float, default=None,
                         help="fail if any config's accesses/sec falls below")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_core.json to diff against")
+    parser.add_argument("--band", type=float, default=0.5,
+                        help="fraction of the baseline rate a cell may drop "
+                             "to before --baseline fails it (default 0.5)")
     parser.add_argument("--out", default="BENCH_core.json")
     args = parser.parse_args(argv)
 
@@ -111,6 +123,9 @@ def main(argv=None) -> int:
         "min_throughput_floor": args.min_throughput,
         "ok": not failures,
     }
+    if args.baseline:
+        failures += _check_baseline(per_config, args)
+
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -120,6 +135,56 @@ def main(argv=None) -> int:
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _check_baseline(per_config, args):
+    """Tolerance-band comparison against a committed baseline report.
+
+    Returns a list of failure strings; also renders the per-cell delta
+    table to stderr and (when running under GitHub Actions) into the job
+    summary.
+    """
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    base_configs = baseline.get("configs", {})
+    failures = []
+    rows = [("config", "workload", "baseline", "current", "delta", "status")]
+    for config_name, entry in per_config.items():
+        base_entry = base_configs.get(config_name)
+        if base_entry is None:
+            continue
+        for workload, cell in entry["workloads"].items():
+            base_cell = base_entry.get("workloads", {}).get(workload)
+            if base_cell is None:
+                continue
+            base_rate = base_cell["accesses_per_sec"]
+            rate = cell["accesses_per_sec"]
+            delta = (rate - base_rate) / base_rate if base_rate else 0.0
+            ok = rate >= base_rate * args.band
+            rows.append((
+                config_name, workload, f"{base_rate:.0f}", f"{rate:.0f}",
+                f"{delta:+.1%}", "ok" if ok else "BELOW BAND",
+            ))
+            if not ok:
+                failures.append(
+                    f"{config_name} x {workload}: {rate:.0f} acc/s is below "
+                    f"{args.band:.0%} of the baseline {base_rate:.0f} acc/s"
+                )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)),
+              file=sys.stderr)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write("### bench_core vs committed baseline\n\n")
+            fh.write("| " + " | ".join(rows[0]) + " |\n")
+            fh.write("|" + "---|" * len(rows[0]) + "\n")
+            for row in rows[1:]:
+                fh.write("| " + " | ".join(row) + " |\n")
+            fh.write(f"\ntolerance band: {args.band:.0%} of baseline; "
+                     f"floor: {args.min_throughput or 'none'}\n")
+    return failures
 
 
 if __name__ == "__main__":

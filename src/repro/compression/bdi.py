@@ -19,6 +19,7 @@ base8-delta4 = 40 B.  The paper's threshold story depends on these numbers:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -34,6 +35,24 @@ _ENCODINGS: Tuple[Tuple[int, int], ...] = (
     (4, 2),
     (2, 1),
 )
+
+# Every encoding has a fixed, distinct size (base + delta * elements), so
+# scanning them smallest-first lets the size kernel stop at the first
+# feasible one: it is the minimum `best_encoding` would find.
+_ENCODINGS_BY_SIZE: Tuple[Tuple[int, int, int], ...] = tuple(
+    sorted(
+        ((b, d, b + d * (LINE_SIZE // b)) for b, d in _ENCODINGS),
+        key=lambda entry: entry[2],
+    )
+)
+
+_UNPACKERS = {
+    8: struct.Struct("<8Q").unpack,
+    4: struct.Struct("<16I").unpack,
+    2: struct.Struct("<32H").unpack,
+}
+
+_ZERO_LINE = bytes(LINE_SIZE)
 
 
 @dataclass(frozen=True)
@@ -57,10 +76,7 @@ class BDIEncoding:
 
 
 def _elements(data: bytes, width: int) -> List[int]:
-    return [
-        int.from_bytes(data[i : i + width], "little")
-        for i in range(0, LINE_SIZE, width)
-    ]
+    return list(_UNPACKERS[width](data))
 
 
 def _fits(delta: int, width: int) -> bool:
@@ -112,6 +128,76 @@ def best_encoding(data: bytes) -> Optional[BDIEncoding]:
     return best
 
 
+def _scan_encoding(
+    data: bytes, base_bytes: int, delta_bytes: int
+) -> Tuple[bool, int]:
+    """Feasibility scan mirroring :func:`try_encode` without materializing.
+
+    Returns ``(feasible, base)``; the base is the first element that does
+    not compress against the implicit zero base (0 when every element
+    does), exactly the base ``try_encode`` would choose.
+    """
+    lo = -(1 << (8 * delta_bytes - 1))
+    hi = -lo - 1
+    chosen: Optional[int] = None
+    for v in _UNPACKERS[base_bytes](data):
+        if lo <= v <= hi:  # compresses against the implicit zero base
+            continue
+        if chosen is None:
+            chosen = v
+            continue
+        d = v - chosen
+        if d < lo or d > hi:
+            return False, 0
+    return True, chosen if chosen is not None else 0
+
+
+def best_encoding_size(data: bytes) -> Optional[int]:
+    """Size of the smallest feasible non-special encoding, or None.
+
+    Integer-only twin of ``best_encoding(data).size``: encodings are
+    scanned smallest-first, so the first feasible one is the minimum.
+    """
+    for base_bytes, delta_bytes, size in _ENCODINGS_BY_SIZE:
+        feasible, _base = _scan_encoding(data, base_bytes, delta_bytes)
+        if feasible:
+            return size
+    return None
+
+
+def best_encoding_params(data: bytes) -> Optional[Tuple[int, int, int, int]]:
+    """(base_bytes, delta_bytes, base, size) of the smallest encoding.
+
+    The size-only counterpart of :func:`best_encoding` for callers that
+    also need the base value (pair compression pins the partner line to
+    it) but not the delta arrays.
+    """
+    for base_bytes, delta_bytes, size in _ENCODINGS_BY_SIZE:
+        feasible, base = _scan_encoding(data, base_bytes, delta_bytes)
+        if feasible:
+            return base_bytes, delta_bytes, base, size
+    return None
+
+
+def pinned_base_fits(
+    data: bytes, base_bytes: int, delta_bytes: int, base: int
+) -> bool:
+    """True when ``data`` encodes with the given widths and a pinned base.
+
+    Mirrors ``try_encode(data, base_bytes, delta_bytes, base=base)``'s
+    feasibility without building the delta tuples.
+    """
+    lo = -(1 << (8 * delta_bytes - 1))
+    hi = -lo - 1
+    for v in _UNPACKERS[base_bytes](data):
+        if lo <= v <= hi:
+            continue
+        d = v - base
+        if d < lo or d > hi:
+            return False
+    return True
+
+
 class BDICompressor(Compressor):
     """Base-Delta-Immediate with zero-line and repeated-value specials."""
 
@@ -119,7 +205,7 @@ class BDICompressor(Compressor):
 
     def compress(self, data: bytes) -> CompressedLine:
         check_line(data)
-        if data == bytes(LINE_SIZE):
+        if data == _ZERO_LINE:
             return CompressedLine(self.name, 1, ("zero",))
         if data == data[:8] * 8:
             return CompressedLine(self.name, 8, ("rep8", data[:8]))
@@ -127,6 +213,17 @@ class BDICompressor(Compressor):
         if enc is not None and enc.size < LINE_SIZE:
             return CompressedLine(self.name, enc.size, ("bdi", enc))
         return CompressedLine(self.name, LINE_SIZE, ("raw", data))
+
+    def _size_kernel(self, data: bytes) -> int:
+        """Encoded size in bytes; mirrors ``compress``'s special-case order."""
+        if data == _ZERO_LINE:
+            return 1
+        if data == data[:8] * 8:
+            return 8
+        size = best_encoding_size(data)
+        if size is not None and size < LINE_SIZE:
+            return size
+        return LINE_SIZE
 
     def decompress(self, line: CompressedLine) -> bytes:
         if line.algorithm != self.name:

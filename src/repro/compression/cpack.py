@@ -46,6 +46,10 @@ _CODE_BITS = {
     _PARTIAL_HI3: 4 + 4 + 8,
 }
 
+_PUSH_CODES = frozenset((_UNCOMPRESSED, _PARTIAL_HI2, _PARTIAL_HI3))
+
+_UNPACK_WORDS = struct.Struct("<16I").unpack
+
 
 class CPackCompressor(Compressor):
     """C-PACK with a 16-entry FIFO dictionary."""
@@ -54,7 +58,7 @@ class CPackCompressor(Compressor):
 
     def compress(self, data: bytes) -> CompressedLine:
         check_line(data)
-        words = struct.unpack("<16I", data)
+        words = _UNPACK_WORDS(data)
         dictionary: List[int] = []
         tokens: List[Tuple[str, ...]] = []
         bits = 0
@@ -62,10 +66,23 @@ class CPackCompressor(Compressor):
             token = self._encode_word(word, dictionary)
             tokens.append(token)
             bits += _CODE_BITS[token[0]]
-            if token[0] in (_UNCOMPRESSED, _PARTIAL_HI2, _PARTIAL_HI3):
+            if token[0] in _PUSH_CODES:
                 self._push(dictionary, word)
         size = min(LINE_SIZE, (bits + 7) // 8)
         return CompressedLine(self.name, size, tuple(tokens))
+
+    def _size_kernel(self, data: bytes) -> int:
+        """Encoded size: the same dictionary walk, counting bits only."""
+        dictionary: List[int] = []
+        code_bits = _CODE_BITS
+        match_word = self._match_word
+        bits = 0
+        for word in _UNPACK_WORDS(data):
+            code, _index = match_word(word, dictionary)
+            bits += code_bits[code]
+            if code in _PUSH_CODES:
+                self._push(dictionary, word)
+        return min(LINE_SIZE, (bits + 7) // 8)
 
     @staticmethod
     def _push(dictionary: List[int], word: int) -> None:
@@ -74,20 +91,39 @@ class CPackCompressor(Compressor):
             dictionary.pop(0)
 
     @staticmethod
-    def _encode_word(word: int, dictionary: List[int]) -> Tuple[str, ...]:
+    def _match_word(word: int, dictionary: List[int]) -> Tuple[str, int]:
+        """(code, dictionary index) for one word; the shared matcher.
+
+        Both ``compress`` and ``_size_kernel`` route through this walk, so
+        the FIFO evolution — and therefore every later match — cannot
+        drift between the two paths.
+        """
         if word == 0:
-            return (_ZERO,)
+            return _ZERO, -1
         if word <= 0xFF:
-            return (_ZERO_BYTE, word)
+            return _ZERO_BYTE, -1
         for index in range(len(dictionary) - 1, -1, -1):
             entry = dictionary[index]
             if entry == word:
-                return (_FULL_MATCH, index)
+                return _FULL_MATCH, index
             if entry >> 8 == word >> 8:
-                return (_PARTIAL_HI3, index, word & 0xFF)
+                return _PARTIAL_HI3, index
             if entry >> 16 == word >> 16:
-                return (_PARTIAL_HI2, index, word & 0xFFFF)
-        return (_UNCOMPRESSED, word)
+                return _PARTIAL_HI2, index
+        return _UNCOMPRESSED, -1
+
+    @staticmethod
+    def _encode_word(word: int, dictionary: List[int]) -> Tuple[str, ...]:
+        code, index = CPackCompressor._match_word(word, dictionary)
+        if code == _ZERO:
+            return (code,)
+        if code in (_ZERO_BYTE, _UNCOMPRESSED):
+            return (code, word)
+        if code == _FULL_MATCH:
+            return (code, index)
+        if code == _PARTIAL_HI3:
+            return (code, index, word & 0xFF)
+        return (code, index, word & 0xFFFF)
 
     def decompress(self, line: CompressedLine) -> bytes:
         if line.algorithm != self.name:

@@ -8,6 +8,11 @@ picks it for the DRAM-cache critical path (Sec 4.2).
 
 Encoded sizes follow the original FPC pattern table; the total is rounded up
 to whole bytes, matching how the set-packing logic budgets space.
+
+The payload-building ``compress`` and the integer-only ``_size_kernel``
+share the same classification helpers (``_zero_run``, ``_classify_pattern``)
+so the two paths cannot drift; ``tests/test_codec_equivalence.py`` asserts
+their equality over adversarial lines.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.compression.base import CompressedLine, Compressor, check_line
 from repro.config import LINE_SIZE
 
 _WORDS_PER_LINE = LINE_SIZE // 4
+_UNPACK_WORDS = struct.Struct("<16I").unpack
 
 # (prefix name, residue bits)
 _PAT_ZERO_RUN = "zero_run"  # 3-bit run length, for up to 8 zero words
@@ -43,6 +49,10 @@ _RESIDUE_BITS = {
 
 _PREFIX_BITS = 3
 
+_ZERO_RUN_TOKEN_BITS = _PREFIX_BITS + _RESIDUE_BITS[_PAT_ZERO_RUN]
+
+_MAX_ZERO_RUN = 8
+
 
 def _sign_extends(value: int, bits: int) -> bool:
     """True if the signed 32-bit ``value`` fits in ``bits`` bits."""
@@ -51,26 +61,84 @@ def _sign_extends(value: int, bits: int) -> bool:
     return lo <= value <= hi
 
 
-def _classify(word: int) -> Tuple[str, int]:
-    """Return (pattern, residue) for one 32-bit word (zero handled by runs)."""
+def _zero_run(words: Tuple[int, ...], start: int) -> int:
+    """Length of the zero run beginning at ``start`` (capped at 8 words).
+
+    Shared by ``compress`` and ``_size_kernel``: the 8-word cap is the
+    3-bit run-length residue's ceiling, and both paths must agree on where
+    a run ends or their token streams diverge.
+    """
+    run = 1
+    while (
+        start + run < _WORDS_PER_LINE
+        and words[start + run] == 0
+        and run < _MAX_ZERO_RUN
+    ):
+        run += 1
+    return run
+
+
+def _classify_pattern(word: int) -> str:
+    """Pattern name for one non-zero 32-bit word (zero handled by runs).
+
+    The single source of the FPC pattern thresholds: ``_classify`` layers
+    residue extraction on top, and the size kernel maps the name straight
+    to ``_RESIDUE_BITS``.
+    """
     signed = word - (1 << 32) if word >= (1 << 31) else word
     if _sign_extends(signed, 4):
-        return _PAT_SE4, word & 0xF
+        return _PAT_SE4
     if _sign_extends(signed, 8):
-        return _PAT_SE8, word & 0xFF
+        return _PAT_SE8
     if _sign_extends(signed, 16):
-        return _PAT_SE16, word & 0xFFFF
+        return _PAT_SE16
     if word & 0xFFFF == 0:
-        return _PAT_HALF_ZERO, word >> 16
+        return _PAT_HALF_ZERO
     hi, lo = word >> 16, word & 0xFFFF
     hi_s = hi - (1 << 16) if hi >= (1 << 15) else hi
     lo_s = lo - (1 << 16) if lo >= (1 << 15) else lo
     if _sign_extends(hi_s, 8) and _sign_extends(lo_s, 8):
-        return _PAT_TWO_HALF_SE8, ((hi & 0xFF) << 8) | (lo & 0xFF)
-    b = word & 0xFF
-    if word == b * 0x01010101:
-        return _PAT_REP_BYTE, b
-    return _PAT_RAW, word
+        return _PAT_TWO_HALF_SE8
+    if word == (word & 0xFF) * 0x01010101:
+        return _PAT_REP_BYTE
+    return _PAT_RAW
+
+
+# word -> encoded token bits, filled through _classify_pattern so the cache
+# can never disagree with the classifier.  Words repeat heavily across lines
+# (zero-adjacent immediates, pointers sharing high bits), so this turns the
+# size kernel's per-word classification into one dict probe.
+_WORD_BITS_CACHE: dict = {}
+_WORD_BITS_CACHE_MAX = 1 << 18
+
+
+def _word_bits(word: int) -> int:
+    """Token bits (prefix + residue) for one non-zero word, cached."""
+    bits = _WORD_BITS_CACHE.get(word)
+    if bits is None:
+        bits = _PREFIX_BITS + _RESIDUE_BITS[_classify_pattern(word)]
+        if len(_WORD_BITS_CACHE) >= _WORD_BITS_CACHE_MAX:
+            _WORD_BITS_CACHE.clear()
+        _WORD_BITS_CACHE[word] = bits
+    return bits
+
+
+def _classify(word: int) -> Tuple[str, int]:
+    """Return (pattern, residue) for one 32-bit word (zero handled by runs)."""
+    pattern = _classify_pattern(word)
+    if pattern == _PAT_SE4:
+        return pattern, word & 0xF
+    if pattern == _PAT_SE8:
+        return pattern, word & 0xFF
+    if pattern == _PAT_SE16:
+        return pattern, word & 0xFFFF
+    if pattern == _PAT_HALF_ZERO:
+        return pattern, word >> 16
+    if pattern == _PAT_TWO_HALF_SE8:
+        return pattern, (((word >> 16) & 0xFF) << 8) | (word & 0xFF)
+    if pattern == _PAT_REP_BYTE:
+        return pattern, word & 0xFF
+    return pattern, word
 
 
 class FPCCompressor(Compressor):
@@ -80,19 +148,13 @@ class FPCCompressor(Compressor):
 
     def compress(self, data: bytes) -> CompressedLine:
         check_line(data)
-        words = struct.unpack("<16I", data)
+        words = _UNPACK_WORDS(data)
         tokens: List[Tuple[str, int]] = []
         bits = 0
         i = 0
         while i < _WORDS_PER_LINE:
             if words[i] == 0:
-                run = 1
-                while (
-                    i + run < _WORDS_PER_LINE
-                    and words[i + run] == 0
-                    and run < 8
-                ):
-                    run += 1
+                run = _zero_run(words, i)
                 tokens.append((_PAT_ZERO_RUN, run))
                 i += run
             else:
@@ -102,6 +164,22 @@ class FPCCompressor(Compressor):
             bits += _PREFIX_BITS + _RESIDUE_BITS[pattern]
         size = min(LINE_SIZE, (bits + 7) // 8)
         return CompressedLine(self.name, size, tuple(tokens))
+
+    def _size_kernel(self, data: bytes) -> int:
+        """Encoded size in bytes without materializing the token stream."""
+        words = _UNPACK_WORDS(data)
+        word_bits = _word_bits
+        bits = 0
+        i = 0
+        while i < _WORDS_PER_LINE:
+            word = words[i]
+            if word == 0:
+                i += _zero_run(words, i)
+                bits += _ZERO_RUN_TOKEN_BITS
+            else:
+                bits += word_bits(word)
+                i += 1
+        return min(LINE_SIZE, (bits + 7) // 8)
 
     def decompress(self, line: CompressedLine) -> bytes:
         if line.algorithm != self.name:

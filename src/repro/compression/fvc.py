@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 from collections import Counter
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.compression.base import CompressedLine, Compressor, check_line
 from repro.config import LINE_SIZE
@@ -24,6 +24,11 @@ _TABLE_ENTRIES = 8  # 3-bit index
 _FLAG_BITS = 1
 _INDEX_BITS = 3
 _WORD_BITS = 32
+
+_HIT_BITS = _FLAG_BITS + _INDEX_BITS
+_MISS_BITS = _FLAG_BITS + _WORD_BITS
+
+_UNPACK_WORDS = struct.Struct("<16I").unpack
 
 
 class FVCCompressor(Compressor):
@@ -34,13 +39,28 @@ class FVCCompressor(Compressor):
     def __init__(self, frequent_values: Iterable[int] = ()) -> None:
         self.table: Tuple[int, ...] = tuple(frequent_values)[:_TABLE_ENTRIES]
         self._train_counts: Counter = Counter()
+        # (table identity, frozenset of its values); rebuilt — and the size
+        # memo flushed — whenever the table object changes, because memoized
+        # sizes are only valid for the table they were computed against
+        self._table_cache: Optional[Tuple[Tuple[int, ...], frozenset]] = None
+
+    def _table_set(self) -> frozenset:
+        """Membership set for the current table; invalidates stale memos."""
+        cached = self._table_cache
+        table = self.table
+        if cached is None or cached[0] is not table:
+            if self._memo is not None:
+                self._memo.clear()
+            cached = (table, frozenset(table))
+            self._table_cache = cached
+        return cached[1]
 
     # -- training ---------------------------------------------------------
 
     def train(self, data: bytes) -> None:
         """Accumulate value statistics from one line."""
         check_line(data)
-        self._train_counts.update(struct.unpack("<16I", data))
+        self._train_counts.update(_UNPACK_WORDS(data))
 
     def finalize_table(self) -> Tuple[int, ...]:
         """Freeze the most frequent values into the table."""
@@ -54,7 +74,7 @@ class FVCCompressor(Compressor):
     def compress(self, data: bytes) -> CompressedLine:
         check_line(data)
         index_of = {value: i for i, value in enumerate(self.table)}
-        words = struct.unpack("<16I", data)
+        words = _UNPACK_WORDS(data)
         tokens: List[Tuple[bool, int]] = []
         bits = 0
         for word in words:
@@ -67,6 +87,20 @@ class FVCCompressor(Compressor):
                 bits += _FLAG_BITS + _WORD_BITS
         size = min(LINE_SIZE, (bits + 7) // 8)
         return CompressedLine(self.name, size, (self.table, tuple(tokens)))
+
+    def compressed_size(self, data: bytes) -> int:
+        """Memoized size; FVC first revalidates the table the memo assumes."""
+        self._table_set()
+        return super().compressed_size(data)
+
+    def _size_kernel(self, data: bytes) -> int:
+        table_set = self._table_set()
+        hits = 0
+        for word in _UNPACK_WORDS(data):
+            if word in table_set:
+                hits += 1
+        bits = hits * _HIT_BITS + (len(data) // 4 - hits) * _MISS_BITS
+        return min(LINE_SIZE, (bits + 7) // 8)
 
     def decompress(self, line: CompressedLine) -> bytes:
         if line.algorithm != self.name:

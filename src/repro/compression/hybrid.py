@@ -6,19 +6,29 @@ policy that gives better compression ratio").  A few bits recording the
 winning algorithm live in the tag metadata, not in the data payload, so they
 do not count against the line's data size.
 
-Compression is deterministic and pure, so the hybrid memoizes recent results;
-the simulator compresses the same line on install, writeback and probe paths
-and the cache keeps those calls cheap.
+Compression is deterministic and pure, so the hybrid memoizes results in
+its :class:`~repro.compression.base.CodecMemo` — the simulator compresses
+the same line on install, writeback and probe paths and the cache keeps
+those calls cheap.  The size-only path (``compressed_size``) never builds
+payloads at all: it takes the minimum of the pool members' integer size
+kernels.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.compression.base import CompressedLine, Compressor, check_line
+from repro.compression.base import (
+    CompressedLine,
+    Compressor,
+    check_line,
+    memo_capacity_from_env,
+)
 from repro.compression.bdi import BDICompressor
 from repro.compression.fpc import FPCCompressor
 from repro.compression.zca import ZCACompressor
+
+_SIZE_SENTINEL = 1 << 30  # upper bound seed for the pool minimum
 
 
 class HybridCompressor(Compressor):
@@ -37,19 +47,52 @@ class HybridCompressor(Compressor):
         if not self.pool:
             raise ValueError("compressor pool must not be empty")
         self._by_name: Dict[str, Compressor] = {c.name: c for c in self.pool}
-        self._cache: Dict[bytes, CompressedLine] = {}
         self._cache_size = cache_size
 
+    def _memo_capacity(self) -> int:
+        # REPRO_CODEC_MEMO wins; the legacy ``cache_size`` argument is the
+        # per-instance default so existing callers keep their bound.
+        return memo_capacity_from_env(self._cache_size)
+
     def compress(self, data: bytes) -> CompressedLine:
-        check_line(data)
-        cached = self._cache.get(data)
-        if cached is not None:
-            return cached
-        best = min((c.compress(data) for c in self.pool), key=lambda r: r.size)
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
-        self._cache[data] = best
+        memo = self._memo
+        if memo is None:
+            memo = self.memo
+        if memo.capacity == 0:
+            check_line(data)
+            return self._best_line(data)
+        line = memo.get_line(data)
+        if line is None:
+            check_line(data)
+            line = self._best_line(data)
+            memo.put_line(data, line)
+        return line
+
+    def _best_line(self, data: bytes) -> CompressedLine:
+        best: Optional[CompressedLine] = None
+        for compressor in self.pool:
+            line = compressor.compress(data)
+            if best is None or line.size < best.size:
+                best = line
         return best
+
+    def _size_kernel(self, data: bytes) -> int:
+        best = _SIZE_SENTINEL
+        for compressor in self.pool:
+            size = compressor.compressed_size(data)
+            if size < best:
+                best = size
+                if best <= 1:  # nothing encodes below one byte
+                    break
+        return best
+
+    def memo_stats(self) -> Dict[str, int]:
+        """Aggregate memo counters: this hybrid plus its pool members."""
+        totals = super().memo_stats()
+        for compressor in self.pool:
+            for key, value in compressor.memo_stats().items():
+                totals[key] += value
+        return totals
 
     def decompress(self, line: CompressedLine) -> bytes:
         algo = self._by_name.get(line.algorithm)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.compression.base import Compressor
-from repro.compression.bdi import best_encoding, try_encode
+from repro.compression.bdi import best_encoding_params, pinned_base_fits
 from repro.config import LINE_SIZE
 
 def _shared_base_size(a: bytes, b: bytes) -> Optional[int]:
@@ -23,14 +23,18 @@ def _shared_base_size(a: bytes, b: bytes) -> Optional[int]:
 
     The second line drops its copy of the base (Sec 4.2 base sharing), so a
     base4-delta2 pair costs 36 + 32 = 68 B — the paper's "Double<=68".
+
+    Size-only: both halves use the same (base, delta) widths, so the pair
+    costs ``size_a + (size_a - base_bytes)`` whenever the partner fits the
+    pinned base — no delta arrays are ever materialized.
     """
-    enc_a = best_encoding(a)
-    if enc_a is None:
+    params = best_encoding_params(a)
+    if params is None:
         return None
-    enc_b = try_encode(b, enc_a.base_bytes, enc_a.delta_bytes, base=enc_a.base)
-    if enc_b is None:
+    base_bytes, delta_bytes, base, size_a = params
+    if not pinned_base_fits(b, base_bytes, delta_bytes, base):
         return None
-    return enc_a.size + (enc_b.size - enc_b.base_bytes)
+    return size_a + (size_a - base_bytes)
 
 
 def pair_compressed_size(

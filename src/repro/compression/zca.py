@@ -11,6 +11,8 @@ from __future__ import annotations
 from repro.compression.base import CompressedLine, Compressor, check_line
 from repro.config import LINE_SIZE
 
+_ZERO_LINE = bytes(LINE_SIZE)
+
 
 class ZCACompressor(Compressor):
     """Zero-content compression: zero lines cost (almost) nothing."""
@@ -19,9 +21,12 @@ class ZCACompressor(Compressor):
 
     def compress(self, data: bytes) -> CompressedLine:
         check_line(data)
-        if data == bytes(LINE_SIZE):
+        if data == _ZERO_LINE:
             return CompressedLine(self.name, 1, None)
         return CompressedLine(self.name, LINE_SIZE, data)
+
+    def _size_kernel(self, data: bytes) -> int:
+        return 1 if data == _ZERO_LINE else LINE_SIZE
 
     def decompress(self, line: CompressedLine) -> bytes:
         if line.algorithm != self.name:

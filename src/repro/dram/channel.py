@@ -18,6 +18,9 @@ class Channel:
     bus_next_free: int = 0
     bytes_transferred: int = 0
     accesses: int = 0
+    # nbytes -> bus cycles; requests use a handful of distinct sizes, so
+    # this avoids recomputing the ceil-division chain per access
+    _burst_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if not self.banks:
@@ -30,7 +33,10 @@ class Channel:
         """Serve one access; returns the cycle the last data byte arrives."""
         bank = self.banks[bank_index % len(self.banks)]
         col_done = bank.access(row, arrival)
-        burst = self.organization.burst_cycles(nbytes)
+        burst = self._burst_cache.get(nbytes)
+        if burst is None:
+            burst = self.organization.burst_cycles(nbytes)
+            self._burst_cache[nbytes] = burst
         start = max(col_done, self.bus_next_free)
         finish = start + burst
         self.bus_next_free = finish

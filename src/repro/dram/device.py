@@ -9,16 +9,19 @@ addresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, NamedTuple
 
 from repro.config import DRAMOrganization
 from repro.obs.tracer import NULL_TRACER
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Timing outcome of one device access."""
+class AccessResult(NamedTuple):
+    """Timing outcome of one device access.
+
+    A NamedTuple: one is allocated per device access on the simulator's
+    hottest path, and tuple construction is markedly cheaper than a frozen
+    dataclass's ``__init__``/``__setattr__`` round trip.
+    """
 
     finish_cycle: int
     latency: int
@@ -41,6 +44,9 @@ class DRAMDevice:
             Channel(organization) for _ in range(organization.channels)
         ]
         self._blocks_per_row = max(1, organization.row_buffer_bytes // 64)
+        # block -> (channel, bank, row); the mapping is pure, and the hot
+        # loop hits the same set-index blocks over and over
+        self._locate_cache: dict = {}
 
     def locate(self, block: int):
         """Map a 64 B-granularity block number to (channel, bank, row).
@@ -59,7 +65,13 @@ class DRAMDevice:
 
     def access(self, block: int, arrival: int, nbytes: int) -> AccessResult:
         """One read or write moving ``nbytes`` for the given block."""
-        channel_idx, bank_idx, row = self.locate(block)
+        loc = self._locate_cache.get(block)
+        if loc is None:
+            loc = self.locate(block)
+            if len(self._locate_cache) >= 1 << 20:
+                self._locate_cache.clear()
+            self._locate_cache[block] = loc
+        channel_idx, bank_idx, row = loc
         channel = self.channels[channel_idx]
         bank = channel.banks[bank_idx]
         was_hit = bank.open_row == row

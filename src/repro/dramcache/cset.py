@@ -37,22 +37,49 @@ class StoredLine:
 
 
 class PairSizeCache:
-    """Memoizes pair-compressed sizes; co-compression is deterministic."""
+    """Memoizes pair-compressed sizes; co-compression is deterministic.
+
+    Bounded LRU keyed on the pair's raw bytes: a hit re-inserts the entry
+    (dict order is insertion order) and, at capacity, the least recently
+    used entry is dropped — unlike a clear-when-full cache, the hot working
+    set of pairs survives capacity pressure.
+    """
+
+    __slots__ = ("_compressor", "_cache", "_capacity", "hits", "misses", "evictions")
 
     def __init__(self, compressor: Compressor, capacity: int = 1 << 15) -> None:
         self._compressor = compressor
         self._cache: Dict[Tuple[bytes, bytes], int] = {}
         self._capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def size(self, a: bytes, b: bytes) -> int:
+        cache = self._cache
         key = (a, b)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached, _shared = pair_compressed_size(self._compressor, a, b)
-            if len(self._cache) >= self._capacity:
-                self._cache.clear()
-            self._cache[key] = cached
+        cached = cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            del cache[key]
+            cache[key] = cached
+            return cached
+        self.misses += 1
+        cached, _shared = pair_compressed_size(self._compressor, a, b)
+        if self._capacity > 0:
+            if len(cache) >= self._capacity:
+                del cache[next(iter(cache))]
+                self.evictions += 1
+            cache[key] = cached
         return cached
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+        }
 
 
 class CompressedSet:

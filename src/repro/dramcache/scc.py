@@ -57,6 +57,11 @@ class SCCDRAMCache:
         self._ways: List[Dict[int, CompressedSet]] = [
             {} for _ in range(SCC_WAYS)
         ]
+        # superblock -> per-way skewed set indices (and the way-spread
+        # hash install uses): the CRC skewing function is pure, and every
+        # read probes all four ways, so one miss fills four lookups
+        self._sb_locations: Dict[int, Tuple[int, ...]] = {}
+        self._sb_spread: Dict[int, int] = {}
         self.read_hits = 0
         self.read_misses = 0
         self.installs = 0
@@ -64,10 +69,22 @@ class SCCDRAMCache:
     def _superblock(self, line_addr: int) -> int:
         return line_addr // SUPERBLOCK_LINES
 
+    def _locations(self, line_addr: int) -> Tuple[int, ...]:
+        """Skewed set indices for this line, one per way (memoized)."""
+        sb = line_addr // SUPERBLOCK_LINES
+        locs = self._sb_locations.get(sb)
+        if locs is None:
+            sets = self.sets_per_way
+            locs = tuple(
+                way * sets + _skew_hash(sb, way) % sets
+                for way in range(SCC_WAYS)
+            )
+            self._sb_locations[sb] = locs
+        return locs
+
     def _location(self, line_addr: int, way: int) -> int:
         """Skewed set index for this line in the given way."""
-        sb = self._superblock(line_addr)
-        return way * self.sets_per_way + _skew_hash(sb, way) % self.sets_per_way
+        return self._locations(line_addr)[way]
 
     def _probe_all(self, line_addr: int, arrival: int) -> Tuple[int, Optional[Tuple[int, StoredLine]]]:
         """Serially probe every skewed location; returns (finish, hit info).
@@ -76,12 +93,13 @@ class SCCDRAMCache:
         """
         found: Optional[Tuple[int, StoredLine]] = None
         finish = arrival
-        for way in range(SCC_WAYS):
-            set_index = self._location(line_addr, way)
-            finish = self.device.access(
+        device_access = self.device.access
+        ways = self._ways
+        for way, set_index in enumerate(self._locations(line_addr)):
+            finish = device_access(
                 set_index, finish, TAD_TRANSFER_BYTES
             ).finish_cycle
-            cset = self._ways[way].get(set_index)
+            cset = ways[way].get(set_index)
             stored = cset.get(line_addr) if cset is not None else None
             if stored is not None and found is None:
                 found = (way, stored)
@@ -119,8 +137,14 @@ class SCCDRAMCache:
         # Way choice: compressibility picks the way (SCC places lines by
         # compressed size class); hash spreads superblocks across ways.
         size_class = 0 if size <= 16 else 1 if size <= 32 else 2 if size <= 48 else 3
-        way = (size_class + _skew_hash(self._superblock(line_addr), 7)) % SCC_WAYS
-        set_index = self._location(line_addr, way)
+        sb = self._superblock(line_addr)
+        spread = self._sb_spread.get(sb)
+        if spread is None:
+            spread = _skew_hash(sb, 7)
+            self._sb_spread[sb] = spread
+        way = (size_class + spread) % SCC_WAYS
+        locations = self._locations(line_addr)
+        set_index = locations[way]
         accesses = 0
         if not after_demand_read:
             arrival = self.device.access(
@@ -131,8 +155,7 @@ class SCCDRAMCache:
         for other_way in range(SCC_WAYS):
             if other_way == way:
                 continue
-            other_index = self._location(line_addr, other_way)
-            cset = self._ways[other_way].get(other_index)
+            cset = self._ways[other_way].get(locations[other_way])
             if cset is not None:
                 cset.remove(line_addr)
         bucket = self._ways[way]

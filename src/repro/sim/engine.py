@@ -132,7 +132,19 @@ def run_workload(
     times = [0.0] * num_cores
     insts = [0] * num_cores
     served = [0] * num_cores
-    iters = [iter(g) for g in generators]
+    if prof.enabled:
+        # The profiled loop attributes generator time per access, so it
+        # keeps the one-at-a-time iterator protocol.
+        iters = [iter(g) for g in generators]
+    else:
+        # Chunked synthesis: each core refills a preallocated buffer of
+        # trace records in batches, replacing a generator resume per
+        # access with a list index.  The access sequence is identical
+        # (chunks() drains the same iterator), so results are too.
+        chunk = TraceGenerator.DEFAULT_CHUNK
+        chunk_iters = [g.chunks(chunk) for g in generators]
+        bufs = [next(ci) for ci in chunk_iters]
+        idxs = [0] * num_cores
     heap = [(0.0, core) for core in range(num_cores)]
     heapq.heapify(heap)
 
@@ -164,7 +176,12 @@ def run_workload(
             finish = system.handle_access(access, int(t))
             prof.exit(max(0, int(finish - t)))
         else:
-            access = next(iters[core])
+            i = idxs[core]
+            if i >= chunk:
+                bufs[core] = next(chunk_iters[core])
+                i = 0
+            access = bufs[core][i]
+            idxs[core] = i + 1
             t = times[core] + access.inst_gap / ipc
             finish = system.handle_access(access, int(t))
         stall = max(0.0, (finish - t) / mlp)
@@ -288,6 +305,12 @@ def run_trace(
     ``line_data(addr)`` for initial memory contents (a
     :class:`~repro.trace.RecordedTrace` does); a plain iterable works too,
     with untouched memory reading as zeros.
+
+    The trace is *streamed*: it is only materialized when a warmup window
+    is requested on a trace that does not know its own length (replaying a
+    multi-gigabyte recorded trace no longer builds a Python list of it).
+    Warmup and measurement windows are emitted as ``sim.warmup`` /
+    ``sim.measure`` tracer spans, mirroring :func:`run_workload`.
     """
     line_data = getattr(trace, "line_data", lambda _addr: bytes(64))
     run_obs = obs.begin_run(f"{name}x{config.name}")
@@ -300,24 +323,40 @@ def run_trace(
     ipc = config.core.base_ipc
     mlp = config.core.mlp
 
-    accesses = list(trace)
-    if not accesses:
-        raise ValueError("trace is empty")
-    warmup = int(len(accesses) * warmup_fraction)
+    accesses = trace
+    warmup = 0
+    if warmup_fraction > 0.0:
+        try:
+            total = len(trace)
+        except TypeError:
+            accesses = list(trace)
+            total = len(accesses)
+        warmup = int(total * warmup_fraction)
     tracer.set_phase("warmup" if warmup > 0 else "measure")
     now = 0.0
     insts = 0
     warm_time = 0.0
     warm_insts = 0
-    for i, access in enumerate(accesses):
-        if i == warmup and warmup > 0:
+    reset_cycle = 0
+    count = 0
+    for access in accesses:
+        if count == warmup and warmup > 0:
             warm_time, warm_insts = now, insts
             system.reset_stats()
+            reset_cycle = int(now)
+            if tracer.enabled:
+                tracer.span(
+                    "sim.warmup", "sim", 0, max(1, reset_cycle),
+                    accesses=warmup,
+                )
             tracer.set_phase("measure")
         t = now + access.inst_gap / ipc
         finish = system.handle_access(access, int(t))
         now = t + max(0.0, (finish - t) / mlp)
         insts += access.inst_gap
+        count += 1
+    if count == 0:
+        raise ValueError("trace is empty")
     time_end = now
 
     cycles = max(1.0, time_end - warm_time)
@@ -352,6 +391,12 @@ def run_trace(
     result.manifest = obs.build_manifest(
         name, config, elapsed_s=time.perf_counter() - started
     )
+    if tracer.enabled:
+        tracer.span(
+            "sim.measure", "sim", reset_cycle,
+            max(1, int(time_end) - reset_cycle),
+            instructions=window_insts,
+        )
     if prof.enabled:
         prof.exit(int(cycles))
     obs.finish_run(run_obs, result.manifest)

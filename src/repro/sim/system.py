@@ -440,6 +440,22 @@ class MemorySystem:
             value = getattr(l4, name, None)
             if value is not None:
                 registry.counter(f"sim.dice.{name}").set(value)
+        compressor = getattr(l4, "compressor", None)
+        if compressor is not None:
+            memo_stats = getattr(compressor, "memo_stats", None)
+            if memo_stats is not None:
+                for key, value in memo_stats().items():
+                    if key == "entries":
+                        registry.gauge("codec.memo.entries").set(value)
+                    else:
+                        registry.counter(f"codec.memo.{key}").set(value)
+        pair_sizes = getattr(l4, "pair_sizes", None)
+        if pair_sizes is not None:
+            for key, value in pair_sizes.stats().items():
+                if key == "entries":
+                    registry.gauge("codec.pair_memo.entries").set(value)
+                else:
+                    registry.counter(f"codec.pair_memo.{key}").set(value)
         if self.fault_injector is not None:
             stats = self.fault_injector.stats
             for name in (

@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, NamedTuple
 
 from repro.config import LINE_SIZE
 from repro.workloads.data import LineDataFactory
@@ -33,9 +33,13 @@ def _stable_hash(text: str) -> int:
     return zlib.crc32(text.encode("utf-8"))
 
 
-@dataclass(frozen=True)
-class Access:
-    """One L3 access from one core's trace."""
+class Access(NamedTuple):
+    """One L3 access from one core's trace.
+
+    A NamedTuple rather than a dataclass: the engine materializes millions
+    of these on its inner loop, and tuple records are both cheaper to
+    allocate and free of per-instance ``__dict__``.
+    """
 
     line_addr: int
     is_write: bool
@@ -165,6 +169,27 @@ class TraceGenerator:
         if rng.random() < 0.2:
             self._stream_pos = rng.randrange(self.footprint)
         return self._stream_pos
+
+    DEFAULT_CHUNK = 256
+
+    def chunks(self, size: int = DEFAULT_CHUNK) -> Iterator[List[Access]]:
+        """Batched view of the endless stream for tight consumer loops.
+
+        Yields a list of ``size`` accesses drawn from :meth:`__iter__` —
+        the exact same access sequence, so any consumer switching between
+        the per-access and chunked APIs sees bit-identical traffic.  The
+        buffer is preallocated once and *reused* across yields; consumers
+        must finish with one chunk before requesting the next and must not
+        hold references to it across iterations.
+        """
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        source = iter(self)
+        buf: List[Access] = [None] * size  # type: ignore[list-item]
+        while True:
+            for i in range(size):
+                buf[i] = next(source)
+            yield buf
 
     def __iter__(self) -> Iterator[Access]:
         rng = self._rng

@@ -53,6 +53,19 @@ class TraceCharacteristics:
 
 _PAGE_LINES = 16
 
+# One shared default hybrid: the harness calibration loop calls
+# measure_trace repeatedly over overlapping line populations, so reusing a
+# single memoized compressor turns the re-measurements into memo hits.
+# Compression is deterministic, so sharing cannot change any result.
+_DEFAULT_COMPRESSOR: Optional[HybridCompressor] = None
+
+
+def _default_compressor() -> HybridCompressor:
+    global _DEFAULT_COMPRESSOR
+    if _DEFAULT_COMPRESSOR is None:
+        _DEFAULT_COMPRESSOR = HybridCompressor()
+    return _DEFAULT_COMPRESSOR
+
 _SIZE_BANDS = (
     ("<=8", 8),
     ("<=20", 20),
@@ -100,7 +113,7 @@ def measure_trace(
 
     size_bands: Dict[str, float] = {}
     if line_data is not None:
-        compressor = compressor or HybridCompressor()
+        compressor = compressor or _default_compressor()
         sampled = list(distinct)[:sample_lines]
         sizes = [compressor.compressed_size(line_data(addr)) for addr in sampled]
         for label, bound in _SIZE_BANDS:

@@ -66,7 +66,16 @@ class TestHybrid:
         h = HybridCompressor(cache_size=4)
         for i in range(10):
             h.compress(struct.pack("<16I", *([i] * 16)))
-        assert len(h._cache) <= 4
+        assert len(h.memo) <= 4
+        assert h.memo.evictions >= 6
+
+    def test_cache_lru_keeps_hot_entries(self):
+        h = HybridCompressor(cache_size=2)
+        hot = struct.pack("<16I", *([1] * 16))
+        first = h.compress(hot)
+        for i in range(2, 6):
+            h.compress(struct.pack("<16I", *([i] * 16)))
+            assert h.compress(hot) is first  # touched every round: never evicted
 
     def test_empty_pool_rejected(self):
         with pytest.raises(ValueError):
