@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check bench bench-parallel bench-core bench-gate report flight examples clean
+.PHONY: install test check chaos bench bench-parallel bench-core bench-gate report flight examples clean
 
 install:
 	python setup.py develop
@@ -12,6 +12,12 @@ test:
 check:
 	PYTHONPATH=src python -m pytest tests/ -x -q
 	REPRO_DISK_CACHE=0 PYTHONPATH=src python -m repro.harness.cli faults --accesses 500
+
+# Self-verifying chaos campaign: seeded faults at every exec seam, then
+# assert results bit-identical to a fault-free reference run.
+chaos:
+	PYTHONPATH=src REPRO_ACCESSES=300 python -m repro.harness.cli chaos \
+		--chaos-seed 7 --chaos-rate 0.2 --jobs 2
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q -s

@@ -1,0 +1,38 @@
+"""Deterministic failure injection for the execution stack.
+
+The chaos harness makes the *harness itself* a tested system: seeded,
+reproducible faults at every exec seam — worker crash, worker hang,
+torn shard write, failed shard write, corrupted result payload — driven
+by a :class:`ChaosPolicy` (``--chaos-seed`` / ``--chaos-rate`` /
+``REPRO_CHAOS``) and recorded in an append-only ledger.  The supervised
+scheduler (:mod:`repro.exec.supervisor`) is the system under test:
+``cli chaos`` runs a campaign under injection and asserts the final
+results are bit-identical to a fault-free run.
+
+Fault classes are declared once, in
+:mod:`repro.resilience.taxonomy` — the same table that documents the
+simulated DRAM fault model, because "what can fail and how do we
+recover" is one design question whether the failing part is modeled
+silicon or a real worker process.
+"""
+
+from repro.chaos.ledger import append_jsonl, class_counts, clear, read_jsonl
+from repro.chaos.policy import (
+    DEFAULT_LEDGER,
+    ChaosPolicy,
+    from_env,
+    parse_chaos_spec,
+)
+from repro.chaos import controller
+
+__all__ = [
+    "ChaosPolicy",
+    "DEFAULT_LEDGER",
+    "append_jsonl",
+    "class_counts",
+    "clear",
+    "controller",
+    "from_env",
+    "parse_chaos_spec",
+    "read_jsonl",
+]

@@ -1,0 +1,81 @@
+"""Append-only JSONL ledgers shared by the chaos harness and supervisor.
+
+Worker processes record what they did (faults injected, jobs started)
+by appending one small JSON line to a shared file.  ``O_APPEND`` writes
+below ``PIPE_BUF`` are atomic on POSIX, so N concurrent workers never
+interleave bytes — and because an appender opens, writes, flushes, and
+closes per line, a worker that ``os._exit``s immediately afterwards
+(the chaos crash fault does exactly this) still leaves its line behind.
+Readers tolerate a torn final line (a writer killed mid-append), which
+is the same discipline the result cache applies to torn shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def append_jsonl(path: os.PathLike, record: dict) -> None:
+    """Atomically append one record as a single JSON line (fsync'd)."""
+    line = json.dumps(record, separators=(",", ":")) + "\n"
+    fd = os.open(
+        os.fspath(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+    )
+    try:
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: os.PathLike, offset: int = 0) -> Tuple[int, List[dict]]:
+    """Records appended at or after byte ``offset``; returns (new_offset,
+    records).  A torn trailing line (no newline yet) is left unconsumed so
+    the next call picks it up once complete."""
+    records: List[dict] = []
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except (FileNotFoundError, OSError):
+        return offset, records
+    consumed = 0
+    for raw in data.splitlines(keepends=True):
+        if not raw.endswith(b"\n"):
+            break  # torn tail: a writer is mid-append
+        consumed += len(raw)
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            continue  # a garbled line costs one record, not the ledger
+        if isinstance(record, dict):
+            records.append(record)
+    return offset + consumed, records
+
+
+def iter_records(path: os.PathLike) -> Iterator[dict]:
+    _, records = read_jsonl(path)
+    return iter(records)
+
+
+def class_counts(
+    path: os.PathLike, key: str = "fault"
+) -> Dict[str, int]:
+    """How many ledger records carry each value of ``key`` (e.g. per
+    injected fault class)."""
+    counts: Dict[str, int] = {}
+    for record in iter_records(path):
+        value = record.get(key)
+        if isinstance(value, str):
+            counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def clear(path: os.PathLike) -> None:
+    try:
+        Path(path).unlink()
+    except OSError:
+        pass

@@ -1,0 +1,168 @@
+"""ChaosPolicy: seeded, reproducible fault-injection decisions.
+
+Every injection decision is a pure function of ``(policy.seed, fault
+class, site, attempt)`` — a SHA-256 draw, not a stateful RNG — so the
+decision does not depend on scheduling order, worker count, or which
+process asks.  Two campaigns with the same seed and the same job list
+inject exactly the same faults, which is what makes a chaos run
+*replayable*: ``cli chaos --chaos-seed 7`` fails (or passes) the same
+way every time.
+
+The *site* of a decision is the stable ``Job.job_id``; every seam the
+harness can fail at (worker entry, result return, shard write) keys its
+draw on the job being executed plus the supervisor's attempt counter,
+so a retried job re-rolls instead of deterministically re-failing
+forever.  Injection stops after ``max_faulty_attempts`` attempts per
+job — chaos proves the recovery paths, and bounded injection is what
+guarantees the campaign still converges to a fault-free-identical
+result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.resilience.taxonomy import CHAOS_CLASSES
+
+DEFAULT_LEDGER = ".chaos_ledger.jsonl"
+DEFAULT_RATE = 0.1
+DEFAULT_HANG_SECONDS = 30.0
+
+
+def _draw(seed: int, fault: str, site: str, attempt: int) -> float:
+    """Uniform [0, 1) value, stable across processes and platforms."""
+    digest = hashlib.sha256(
+        f"{seed}:{fault}:{site}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Which faults to inject, how often, and where the evidence goes.
+
+    ``forced`` pins ``(fault class → site)`` pairs that fire on attempt 1
+    regardless of ``rate`` — :meth:`ensure_coverage` uses it to guarantee
+    at least one injection per class over a planned job list.  Stored as
+    a tuple of pairs so the policy stays hashable and picklable (it
+    crosses the process boundary in the pool initializer).
+    """
+
+    seed: int = 0
+    rate: float = DEFAULT_RATE
+    classes: Tuple[str, ...] = CHAOS_CLASSES
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+    max_faulty_attempts: int = 2
+    forced: Tuple[Tuple[str, str], ...] = ()
+    ledger_path: str = DEFAULT_LEDGER
+
+    @property
+    def forced_map(self) -> Dict[str, str]:
+        return dict(self.forced)
+
+    def should_inject(self, fault: str, site: str, attempt: int) -> bool:
+        """The deterministic injection decision for one seam visit."""
+        if fault not in self.classes:
+            return False
+        if attempt == 1 and self.forced_map.get(fault) == site:
+            return True
+        if attempt > self.max_faulty_attempts:
+            return False  # bounded injection: retries must converge
+        if self.rate <= 0.0:
+            return False
+        return _draw(self.seed, fault, site, attempt) < self.rate
+
+    def natural_sites(self, fault: str, sites: Iterable[str]) -> Tuple[str, ...]:
+        """Sites where ``fault`` fires on attempt 1 from ``rate`` alone."""
+        if self.rate <= 0.0 or fault not in self.classes:
+            return ()
+        return tuple(
+            site
+            for site in sites
+            if _draw(self.seed, fault, site, 1) < self.rate
+        )
+
+    def ensure_coverage(self, sites: Iterable[str]) -> "ChaosPolicy":
+        """A policy guaranteed to inject ≥ 1 of every class over ``sites``.
+
+        For each fault class with no natural attempt-1 firing, one site is
+        pinned via ``forced``.  Quiet sites (no natural draw of *any*
+        class) are preferred and each class gets a distinct site where
+        possible, so forced faults do not shadow each other (a forced
+        hang on a job that also crashes would never fire).
+        """
+        sites = sorted(set(sites))
+        if not sites:
+            return self
+        naturally_noisy = {
+            site
+            for fault in self.classes
+            for site in self.natural_sites(fault, sites)
+        }
+        quiet = [site for site in sites if site not in naturally_noisy]
+        forced = dict(self.forced)
+        taken = set(forced.values())
+        for fault in self.classes:
+            if fault in forced or self.natural_sites(fault, sites):
+                continue
+            pool = (
+                [s for s in quiet if s not in taken]
+                or [s for s in sites if s not in taken]
+                or sites
+            )
+            forced[fault] = pool[0]
+            taken.add(pool[0])
+        return replace(self, forced=tuple(sorted(forced.items())))
+
+    def describe(self) -> str:
+        bits = [f"seed={self.seed}", f"rate={self.rate:g}"]
+        if self.forced:
+            bits.append(f"forced={len(self.forced)} class(es)")
+        return "chaos(" + ", ".join(bits) + ")"
+
+
+def parse_chaos_spec(spec: str) -> Optional[ChaosPolicy]:
+    """Parse the ``REPRO_CHAOS`` environment value.
+
+    Accepted forms: empty/``0``/``off`` → None (disabled); ``1``/``on``
+    → defaults; or comma-separated ``key=value`` pairs among ``seed``,
+    ``rate``, ``hang``, ``ledger`` — e.g. ``REPRO_CHAOS=seed=7,rate=0.2``.
+    An unparseable spec disables chaos rather than crashing the harness
+    it is meant to harden.
+    """
+    spec = (spec or "").strip()
+    if not spec or spec.lower() in ("0", "off", "false", "no"):
+        return None
+    if spec.lower() in ("1", "on", "true", "yes"):
+        return ChaosPolicy()
+    kwargs: Dict[str, object] = {}
+    try:
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "rate":
+                kwargs["rate"] = float(value)
+            elif key == "hang":
+                kwargs["hang_seconds"] = float(value)
+            elif key == "ledger":
+                kwargs["ledger_path"] = value
+            else:
+                return None  # unknown knob: refuse to half-apply the spec
+    except ValueError:
+        return None
+    return ChaosPolicy(**kwargs)
+
+
+def from_env(environ: Optional[Dict[str, str]] = None) -> Optional[ChaosPolicy]:
+    """The policy requested by ``REPRO_CHAOS``, or None."""
+    env = os.environ if environ is None else environ
+    return parse_chaos_spec(env.get("REPRO_CHAOS", ""))

@@ -1,4 +1,4 @@
-"""Parallel execution engine: jobs, planning, and multiprocess scheduling.
+"""Parallel execution engine: jobs, planning, and supervised scheduling.
 
 The subsystem that turns a figure-regeneration campaign from a serial
 loop into a sharded, resumable, deterministic fan-out:
@@ -9,34 +9,62 @@ loop into a sharded, resumable, deterministic fan-out:
   list in deterministic order;
 * :mod:`repro.exec.scheduler` — the ``ProcessPoolExecutor`` worker pool,
   with per-job retry/timeout and drain-on-failure semantics;
+* :mod:`repro.exec.supervisor` — watchdog deadlines, broken-pool
+  rebuild + requeue, poison-job quarantine, result validation, and
+  graceful SIGTERM/SIGINT shutdown around the pool;
 * :mod:`repro.exec.cache` — the concurrency-safe sharded result store
-  backing the harness result cache;
+  backing the harness result cache, with per-shard write circuit
+  breakers;
 * :mod:`repro.exec.progress` — done/running/failed/ETA reporting.
 """
 
-from repro.exec.cache import ShardedResultCache
+from repro.exec.cache import (
+    CacheHealth,
+    ShardedResultCache,
+    cache_health,
+    reset_cache_health,
+)
 from repro.exec.job import Job, make_job
 from repro.exec.planner import Plan, build_plan, plan_experiment
 from repro.exec.progress import ProgressPrinter, ProgressSnapshot, format_progress
 from repro.exec.scheduler import (
     JobOutcome,
+    last_report,
     resolve_jobs,
     run_configs,
     run_jobs,
 )
+from repro.exec.supervisor import (
+    CorruptResultError,
+    ShutdownFlag,
+    SupervisionReport,
+    SupervisorPolicy,
+    graceful_signals,
+    validate_result,
+)
 
 __all__ = [
+    "CacheHealth",
+    "CorruptResultError",
     "Job",
     "JobOutcome",
     "Plan",
     "ProgressPrinter",
     "ProgressSnapshot",
     "ShardedResultCache",
+    "ShutdownFlag",
+    "SupervisionReport",
+    "SupervisorPolicy",
     "build_plan",
+    "cache_health",
     "format_progress",
+    "graceful_signals",
+    "last_report",
     "make_job",
     "plan_experiment",
+    "reset_cache_health",
     "resolve_jobs",
     "run_configs",
     "run_jobs",
+    "validate_result",
 ]

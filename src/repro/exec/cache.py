@@ -26,13 +26,97 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
+
+from repro.chaos import controller as _chaos
 
 _ENTRY_SUFFIX = ".json"
 _QUARANTINE_SUFFIX = ".corrupt"
+
+_LOG = logging.getLogger("repro.exec.cache")
+
+# -- write-error accounting + per-shard circuit breaker ----------------------
+#
+# State is process-local (each worker keeps its own books); the campaign
+# parent publishes its view through the scheduler's metrics registry as
+# ``exec.cache.write_error`` / ``exec.cache.breakers_open``.  A shard
+# whose writes keep failing (dead disk, revoked permissions, ENOSPC)
+# trips its breaker after ``breaker_threshold`` consecutive errors, and
+# every later write is skipped outright — the campaign stops burning
+# syscalls and log noise on a disk that is not coming back, while the
+# in-memory result still flows to the tables.
+
+DEFAULT_BREAKER_THRESHOLD = 3
+
+
+class CacheHealth:
+    """Process-local ledger of shard write failures and open breakers."""
+
+    def __init__(self, breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD):
+        self.breaker_threshold = breaker_threshold
+        self.write_errors = 0
+        self.consecutive: Dict[str, int] = {}
+        self.open_breakers: Set[str] = set()
+        self.skipped_writes = 0
+        self._logged: Set[str] = set()
+
+    def record_error(self, path: Path, exc: OSError) -> None:
+        key = str(path)
+        self.write_errors += 1
+        self.consecutive[key] = self.consecutive.get(key, 0) + 1
+        if key not in self._logged:
+            # one line per shard, however many times it fails
+            self._logged.add(key)
+            _LOG.warning(
+                "cache shard write failed (%s): %s — counting further "
+                "errors for this shard silently",
+                path,
+                exc,
+            )
+        if (
+            self.consecutive[key] >= self.breaker_threshold
+            and key not in self.open_breakers
+        ):
+            self.open_breakers.add(key)
+            _LOG.warning(
+                "cache shard %s: circuit breaker open after %d consecutive "
+                "write errors; skipping further writes to it",
+                path,
+                self.consecutive[key],
+            )
+
+    def record_success(self, path: Path) -> None:
+        self.consecutive.pop(str(path), None)
+
+    def is_open(self, path: Path) -> bool:
+        return str(path) in self.open_breakers
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "write_errors": self.write_errors,
+            "skipped_writes": self.skipped_writes,
+            "open_breakers": sorted(self.open_breakers),
+        }
+
+
+_health = CacheHealth()
+
+
+def cache_health() -> CacheHealth:
+    """This process's cache-health ledger (the scheduler exports it)."""
+    return _health
+
+
+def reset_cache_health(
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+) -> None:
+    """Fresh books (tests, and campaigns that redirect the cache path)."""
+    global _health
+    _health = CacheHealth(breaker_threshold)
 
 
 class ShardedResultCache:
@@ -98,6 +182,13 @@ class ShardedResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.entry_path(key)
         payload = json.dumps({"key": key, "result": result})
+        # chaos seams: an injected ENOSPC raises here; an injected torn
+        # write bypasses the atomic discipline and leaves a truncated
+        # file at the final path — exactly what a torn disk leaves.
+        _chaos.check_write_error(path)
+        if _chaos.take_torn_write(path):
+            path.write_text(payload[: max(1, len(payload) // 3)])
+            return
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.name + ".", suffix=".tmp", dir=self.root
         )
@@ -113,6 +204,28 @@ class ShardedResultCache:
             except OSError:
                 pass
             raise
+
+    def safe_write(self, key: str, result: object) -> bool:
+        """:meth:`write` that survives a failing disk; True on success.
+
+        An ``OSError`` is *counted* (``exec.cache.write_error``), its
+        path logged once per shard, and the per-shard circuit breaker
+        fed — never swallowed silently.  Once a shard's breaker is open,
+        later writes to it are skipped without touching the filesystem.
+        The caller's result is unaffected either way: a result cache
+        that cannot persist degrades to a memory cache, not a crash.
+        """
+        path = self.entry_path(key)
+        if _health.is_open(path):
+            _health.skipped_writes += 1
+            return False
+        try:
+            self.write(key, result)
+        except OSError as exc:
+            _health.record_error(path, exc)
+            return False
+        _health.record_success(path)
+        return True
 
     def remove(self, key: str) -> None:
         try:

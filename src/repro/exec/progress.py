@@ -76,14 +76,21 @@ class ProgressPrinter:
         self.stream = stream
         self.min_interval = min_interval
         self._isatty = bool(getattr(stream, "isatty", lambda: False)())
-        self._last_emit = 0.0
+        # None (not 0.0): time.monotonic()'s epoch is arbitrary — on a
+        # freshly booted machine it is small enough that `now - 0.0 <
+        # min_interval` wrongly throttles the very first snapshot.
+        self._last_emit: Optional[float] = None
         self._last: Optional[ProgressSnapshot] = None
 
     def __call__(self, snap: ProgressSnapshot) -> None:
         self._last = snap
         now = time.monotonic()
         final = snap.done + snap.failed >= snap.total
-        if not final and now - self._last_emit < self.min_interval:
+        if (
+            not final
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        ):
             return
         self._last_emit = now
         line = format_progress(snap)

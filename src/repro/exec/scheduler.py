@@ -16,6 +16,15 @@ single (workload, config) pairs.  A failing job never aborts the pool:
 the scheduler drains the remaining jobs and reports every failure, so
 one bad configuration costs one table, not the whole campaign.
 
+The pool path runs under :mod:`repro.exec.supervisor`: per-job
+wall-clock deadlines with watchdog cancellation, ``BrokenProcessPool``
+recovery (rebuild the pool, requeue the in-flight jobs), poison-job
+quarantine after repeated failed attempts, corrupt-payload detection
+with cache invalidation, and SIGTERM/SIGINT graceful drain.  Incidents
+surface as ``exec.supervisor.*`` metrics and events; the
+:class:`~repro.exec.supervisor.SupervisionReport` of the last run is
+available via :func:`last_report`.
+
 Worker processes are forked where available (POSIX), which lets them
 inherit the parent's in-memory cache, installed executors, and
 monkeypatched test state; ``spawn`` is the fallback elsewhere.
@@ -26,15 +35,28 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from pathlib import Path
 
 from repro import obs
+from repro.chaos import class_counts
+from repro.chaos import controller as chaos_controller
+from repro.chaos.policy import ChaosPolicy
+from repro.exec.cache import cache_health
 from repro.exec.job import Job
 from repro.exec.progress import ProgressSnapshot
+from repro.exec.supervisor import (
+    DEFAULT_SUPERVISOR,
+    ShutdownFlag,
+    SupervisionReport,
+    SupervisorPolicy,
+    _worker_init,
+    supervise_pool,
+    validate_result,
+)
 from repro.harness import runner as runner_mod
 from repro.sim.engine import SimulationParams, run_workload
 from repro.sim.metrics import SimResult
@@ -60,7 +82,8 @@ class JobOutcome:
     job: Job
     result: Optional[SimResult]
     error: Optional[str] = None
-    source: str = "run"  # "cache" | "run" | "failed"
+    source: str = "run"  # "cache" | "run" | "failed" | "quarantined"
+    attempts: int = 1  # submissions the supervisor made for this job
 
     @property
     def ok(self) -> bool:
@@ -68,14 +91,6 @@ class JobOutcome:
 
 
 # -- worker-side entry points (top level: picklable under spawn) -------------
-
-
-def _worker_init(policy) -> None:
-    """Install the per-job retry/timeout policy in this worker process."""
-    if policy is not None:
-        from repro.harness.campaign import install_retry_executor
-
-        install_retry_executor(policy)
 
 
 def _execute_job(job: Job) -> SimResult:
@@ -185,8 +200,13 @@ class _Tracker:
         if self.tracer.enabled:
             ts = self._now_us()
             if not outcome.ok:
+                name = (
+                    "job.quarantined"
+                    if outcome.source == "quarantined"
+                    else "job.failed"
+                )
                 self.tracer.instant(
-                    "job.failed", "exec", ts, job=label, error=outcome.error
+                    name, "exec", ts, job=label, error=outcome.error
                 )
             elif outcome.source == "cache":
                 self.tracer.instant("job.cached", "exec", ts, job=label)
@@ -213,12 +233,23 @@ class _Tracker:
 # -- the scheduler -----------------------------------------------------------
 
 
+_LAST_REPORT: Optional[SupervisionReport] = None
+
+
+def last_report() -> Optional[SupervisionReport]:
+    """The :class:`SupervisionReport` of the most recent ``run_jobs``."""
+    return _LAST_REPORT
+
+
 def run_jobs(
     jobs: Sequence[Job],
     *,
     max_workers: Optional[int] = None,
     policy=None,
     progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+    supervisor: Optional[SupervisorPolicy] = None,
+    chaos: Optional[ChaosPolicy] = None,
+    shutdown: Optional[ShutdownFlag] = None,
 ) -> List[JobOutcome]:
     """Execute ``jobs``, in parallel when ``max_workers > 1``.
 
@@ -226,9 +257,16 @@ def run_jobs(
     regardless of completion order.  Jobs already satisfied by the result
     cache are served without touching the pool.  Failed jobs (after the
     policy's retries) yield ``error`` outcomes while the rest of the pool
-    drains normally.
+    drains normally; jobs that keep killing their workers are quarantined
+    per ``supervisor``.  When ``shutdown`` trips mid-campaign the drain
+    stops gracefully and unfinished jobs are simply omitted from the
+    outcome list (their cache entries were never written, so a rerun
+    resumes them).  ``chaos`` arms deterministic fault injection — see
+    :mod:`repro.chaos`.
     """
+    global _LAST_REPORT
     jobs = list(jobs)
+    supervisor = supervisor if supervisor is not None else DEFAULT_SUPERVISOR
     outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
 
     # Serve cache hits in the parent: free, and it keeps resumed campaigns
@@ -259,16 +297,44 @@ def run_jobs(
                 )
     workers = min(resolve_jobs(max_workers), max(1, len(pending)))
 
+    report = SupervisionReport()
     try:
         if not pending:
             tracker.emit()
         elif workers <= 1:
-            _run_serial(jobs, pending, outcomes, policy, tracker)
+            report = _run_serial(
+                jobs, pending, outcomes, policy, tracker,
+                supervisor=supervisor, chaos=chaos, shutdown=shutdown,
+            )
         else:
-            _run_pool(jobs, pending, outcomes, policy, tracker, workers)
+            report = _run_pool(
+                jobs, pending, outcomes, policy, tracker, workers,
+                supervisor=supervisor, chaos=chaos, shutdown=shutdown,
+            )
     finally:
+        _publish_health(tracker, report, chaos)
+        _LAST_REPORT = report
         tracker.tracer.close()
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _publish_health(tracker, report, chaos) -> None:
+    """Export cache health and chaos-injection totals on the run registry."""
+    health = cache_health()
+    if health.write_errors:
+        tracker.registry.counter("exec.cache.write_error").set(
+            health.write_errors
+        )
+    if health.open_breakers:
+        tracker.registry.gauge("exec.cache.breakers_open").set(
+            len(health.open_breakers)
+        )
+    if chaos is not None and report is not None:
+        report.chaos_injected = class_counts(chaos.ledger_path)
+        for fault, count in sorted(report.chaos_injected.items()):
+            tracker.registry.counter(
+                "exec.chaos.injected", fault=fault
+            ).set(count)
 
 
 def _exec_tracer():
@@ -288,38 +354,96 @@ def _exec_tracer():
     return obs.Tracer(path, every=every, meta={"scope": "exec"})
 
 
-def _record(outcomes, i, job, result, error) -> JobOutcome:
+def _record(outcomes, i, job, result, error, source=None, attempts=1) -> JobOutcome:
     if error is None:
         runner_mod.seed_cache(
             job.workload, job.config_name, result, scale=job.scale, params=job.params
         )
-        outcome = JobOutcome(job, result)
+        outcome = JobOutcome(job, result, source=source or "run", attempts=attempts)
     else:
-        outcome = JobOutcome(job, None, error=error, source="failed")
+        outcome = JobOutcome(
+            job, None, error=error, source=source or "failed", attempts=attempts
+        )
     outcomes[i] = outcome
     return outcome
 
 
-def _run_serial(jobs, pending, outcomes, policy, tracker) -> None:
-    """In-process execution (``--jobs 1``): the reference serial semantics."""
+def _run_serial(
+    jobs, pending, outcomes, policy, tracker,
+    *, supervisor=DEFAULT_SUPERVISOR, chaos=None, shutdown=None,
+) -> SupervisionReport:
+    """In-process execution (``--jobs 1``): the reference serial semantics.
+
+    The supervisor's process-level recoveries do not apply here (there
+    is no worker to crash), but result validation, corrupt-payload
+    invalidation/retry, quarantine, and graceful shutdown all do — so
+    ``--jobs 1`` and ``--jobs N`` campaigns make identical promises.
+    """
     from repro.harness.campaign import make_resilient_executor
 
+    report = SupervisionReport()
+    registry = tracker.registry
     previous = runner_mod._run_executor
     if policy is not None:
         runner_mod.set_run_executor(make_resilient_executor(policy, base=previous))
+    if chaos is not None:
+        chaos_controller.configure(chaos)
+        chaos_controller.install_executor_chaos()
     try:
         for i in pending:
+            if shutdown is not None and shutdown.requested:
+                report.interrupted = True
+                break
             tracker.running = 1
-            try:
-                result = _execute_job(jobs[i])
-            except Exception as exc:  # noqa: BLE001 - any failure is an outcome
-                tracker.step(_record(outcomes, i, jobs[i], None, _describe_error(exc)))
-            else:
-                tracker.step(_record(outcomes, i, jobs[i], result, None))
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    with chaos_controller.job_site(jobs[i].job_id, attempt):
+                        result = _execute_job(jobs[i])
+                except Exception as exc:  # noqa: BLE001 - any failure is an outcome
+                    tracker.step(
+                        _record(
+                            outcomes, i, jobs[i], None, _describe_error(exc),
+                            attempts=attempt,
+                        )
+                    )
+                    break
+                problem = validate_result(result)
+                if problem is None:
+                    tracker.step(
+                        _record(outcomes, i, jobs[i], result, None, attempts=attempt)
+                    )
+                    break
+                runner_mod.invalidate(
+                    jobs[i].workload, jobs[i].config_name,
+                    scale=jobs[i].scale, params=jobs[i].params,
+                )
+                report.corrupt_results += 1
+                registry.counter("exec.supervisor.corrupt_results").inc()
+                if attempt >= supervisor.max_attempts:
+                    label = jobs[i].describe()
+                    report.quarantined.append(label)
+                    registry.counter("exec.supervisor.quarantined").inc()
+                    tracker.step(
+                        _record(
+                            outcomes, i, jobs[i], None,
+                            f"quarantined after {attempt} failed attempt(s); "
+                            f"last failure: corrupt result: {problem}",
+                            source="quarantined", attempts=attempt,
+                        )
+                    )
+                    break
+                report.requeues += 1
+                registry.counter("exec.supervisor.requeues").inc()
             tracker.running = 0
     finally:
-        if policy is not None:
+        if chaos is not None:
+            chaos_controller.uninstall_executor_chaos()
+            chaos_controller.deactivate()
+        if policy is not None or chaos is not None:
             runner_mod.set_run_executor(previous)
+    return report
 
 
 def _mp_context():
@@ -327,27 +451,25 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def _run_pool(jobs, pending, outcomes, policy, tracker, workers) -> None:
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_mp_context(),
-        initializer=_worker_init,
-        initargs=(policy,),
-    ) as pool:
-        futures = {pool.submit(_execute_job, jobs[i]): i for i in pending}
-        remaining = set(futures)
-        while remaining:
-            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            tracker.running = len(remaining)
-            for future in done:
-                i = futures[future]
-                try:
-                    result = future.result()
-                except Exception as exc:  # noqa: BLE001 - drain, don't abort
-                    outcome = _record(outcomes, i, jobs[i], None, _describe_error(exc))
-                else:
-                    outcome = _record(outcomes, i, jobs[i], result, None)
-                tracker.step(outcome)
+def _run_pool(
+    jobs, pending, outcomes, policy, tracker, workers,
+    *, supervisor=DEFAULT_SUPERVISOR, chaos=None, shutdown=None,
+) -> SupervisionReport:
+    """Pool execution, supervised: crashes, hangs, and poison jobs are
+    incidents to recover from, not campaign-enders."""
+
+    def record(i, result, error, source, attempts):
+        outcome = _record(
+            outcomes, i, jobs[i], result, error, source=source, attempts=attempts
+        )
+        tracker.step(outcome)
+        return outcome
+
+    return supervise_pool(
+        jobs, pending, tracker, workers,
+        retry_policy=policy, supervisor=supervisor, chaos=chaos,
+        shutdown=shutdown, record=record,
+    )
 
 
 def _describe_error(exc: BaseException) -> str:

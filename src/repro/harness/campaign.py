@@ -185,6 +185,9 @@ def prefetch_experiments(
     jobs: Optional[int] = None,
     policy: Optional[RetryPolicy] = None,
     stream=None,
+    supervisor=None,
+    chaos=None,
+    shutdown=None,
 ):
     """Fan out every simulation the given experiments need, ahead of time.
 
@@ -195,6 +198,11 @@ def prefetch_experiments(
     experiments' own serial loops replay from memory and their output is
     bit-identical to a fully serial run.  Progress (done/running/failed +
     ETA) goes to ``stream`` (default stderr).
+
+    ``supervisor``, ``chaos``, and ``shutdown`` thread straight through to
+    :func:`repro.exec.run_jobs` — watchdog deadlines, fault injection,
+    and graceful-drain respectively.  When ``shutdown`` trips, the
+    returned outcome list simply omits the jobs that never ran.
     """
     import sys
 
@@ -205,7 +213,8 @@ def prefetch_experiments(
         return [], []
     printer = ProgressPrinter(stream if stream is not None else sys.stderr)
     outcomes = run_jobs(
-        plan.jobs, max_workers=jobs, policy=policy, progress=printer
+        plan.jobs, max_workers=jobs, policy=policy, progress=printer,
+        supervisor=supervisor, chaos=chaos, shutdown=shutdown,
     )
     printer.finish()
     failures = [outcome for outcome in outcomes if not outcome.ok]
@@ -241,6 +250,7 @@ class Campaign:
         self.completed: List[str] = []
         self.skipped: List[str] = []
         self.timings: Dict[str, float] = {}
+        self.interrupted = False
 
     # -- checkpoint persistence ---------------------------------------------
 
@@ -305,20 +315,28 @@ class Campaign:
     def run(
         self,
         on_step: Optional[Callable[[str, object], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Dict[str, object]:
         """Execute pending steps; returns ``{name: step result}``.
 
         Completed steps from a previous (killed) run are skipped.  A step
         that raises stops the campaign with its progress checkpointed, so
-        the next invocation resumes right there.
+        the next invocation resumes right there.  ``should_stop`` is
+        polled between steps (the graceful SIGTERM/SIGINT path): when it
+        returns True the campaign stops cleanly with ``self.interrupted``
+        set and the checkpoint intact, so a rerun resumes bit-identically.
         """
         done = self._load_checkpoint()
         results: Dict[str, object] = {}
         self.completed = list(done)
         self.skipped = [name for name, _ in self.steps if name in done]
+        self.interrupted = False
         for name, thunk in self.steps:
             if name in done:
                 continue
+            if should_stop is not None and should_stop():
+                self.interrupted = True
+                break
             step_started = time.perf_counter()
             outcome = thunk()
             self.timings[name] = time.perf_counter() - step_started

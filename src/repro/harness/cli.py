@@ -24,11 +24,17 @@ the planned simulations N-wide before the tables are rendered serially,
 so parallel output is bit-identical to ``--jobs 1``.  A progress line
 (jobs done/running/failed plus ETA) is written to stderr.
 
+``cli chaos`` runs the self-verifying chaos campaign: seeded faults are
+injected at every exec seam and the final results asserted bit-identical
+to a fault-free run (see ``--chaos-seed`` / ``--chaos-rate``, or the
+``REPRO_CHAOS`` environment variable for arming chaos on any command).
+
 Exit codes: 0 success, 2 usage error (unknown experiment/flag), 3 a
 simulation failed after all retries (remaining jobs are still drained
 and cached, so a re-run only repeats the failures), 4 the fidelity
 scoreboard drifted out of its tolerance band (``report --flight
---check``).
+--check``), 5 the campaign was interrupted (SIGTERM/SIGINT) and stopped
+gracefully at a resumable checkpoint.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_SIM_FAILURE = 3
 EXIT_DRIFT = 4
+EXIT_INTERRUPTED = 5
 
 
 def run_one(key: str, params: SimulationParams) -> None:
@@ -75,11 +82,22 @@ def _prefetch(
     params: SimulationParams,
     jobs: Optional[int],
     policy: Optional[RetryPolicy],
+    supervisor=None,
+    chaos=None,
+    shutdown=None,
 ) -> int:
-    """Fan the experiments' simulations out; report failures. 0 or 3."""
+    """Fan the experiments' simulations out; report failures. 0, 3, or 5."""
     _outcomes, failures = prefetch_experiments(
-        keys, params, jobs=jobs, policy=policy
+        keys, params, jobs=jobs, policy=policy,
+        supervisor=supervisor, chaos=chaos, shutdown=shutdown,
     )
+    if shutdown is not None and shutdown.requested:
+        print(
+            "interrupted: campaign checkpointed; completed simulations are "
+            "cached, re-run to resume",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     if not failures:
         return EXIT_OK
     for outcome in failures:
@@ -94,6 +112,221 @@ def _prefetch(
         file=sys.stderr,
     )
     return EXIT_SIM_FAILURE
+
+
+def _chaos_command(argv: List[str]) -> int:
+    """``repro chaos`` — a self-verifying campaign under fault injection.
+
+    Three phases over isolated throwaway cache stores:
+
+    1. **reference** — the planned jobs run fault-free;
+    2. **chaotic** — the same jobs run with seeded faults injected at
+       every exec seam (worker crash, hang, torn shard write, failed
+       shard write, corrupted payload) under the supervised scheduler;
+    3. **cold resume** — chaos off, memory state dropped, the chaotic
+       cache is read back through its torn/missing shards.
+
+    Exit 0 requires every fault class to have fired at least once *and*
+    the chaotic and resumed results to be bit-identical to the reference
+    run.  This is the executable proof behind the robustness claims: the
+    harness survives the failure taxonomy it documents.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.chaos import ChaosPolicy, class_counts
+    from repro.exec import SupervisorPolicy, build_plan, last_report, run_jobs
+    from repro.harness import runner as runner_mod
+    from repro.harness.runner import DEFAULT_ACCESSES
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli chaos",
+        description="Run a campaign under deterministic fault injection "
+        "and verify results are bit-identical to a fault-free run.",
+    )
+    parser.add_argument("--chaos-seed", type=int, default=7)
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.2,
+        help="per-(fault, job, attempt) injection probability",
+    )
+    parser.add_argument(
+        "--experiments",
+        default="fig13",
+        help="comma-separated experiment keys to plan jobs from "
+        "(default: fig13 — the smoke campaign)",
+    )
+    parser.add_argument("--accesses", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job watchdog deadline in seconds (default: sized from "
+        "the reference run's slowest job)",
+    )
+    parser.add_argument(
+        "--keep-workdir",
+        action="store_true",
+        help="keep the throwaway cache/ledger directory for inspection",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the chaotic phase's job-lifecycle events "
+        "(crashes, watchdog kills, requeues, quarantines) to "
+        "PATH-derived <stem>.exec.jsonl",
+    )
+    parser.add_argument("--trace-every", type=int, default=16, metavar="N")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.chaos_rate <= 1.0:
+        parser.error("--chaos-rate must be in [0, 1]")
+
+    keys = [k for k in args.experiments.split(",") if k]
+    unknown = [k for k in keys if k not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    params = SimulationParams(
+        accesses_per_core=args.accesses or DEFAULT_ACCESSES, seed=args.seed
+    )
+    plan = build_plan(keys, params)
+    if not plan.jobs:
+        print("error: the selected experiments plan no jobs", file=sys.stderr)
+        return EXIT_USAGE
+    job_ids = [job.job_id for job in plan.jobs]
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos."))
+    original_cache = runner_mod._CACHE_PATH
+    original_env = os.environ.get("REPRO_CACHE_PATH")
+    try:
+        # Phase 1: fault-free reference in its own store.
+        print(f"chaos: phase 1/3 — reference run ({len(plan.jobs)} jobs)")
+        runner_mod.set_cache_path(workdir / "reference.sim_cache.json")
+        phase_started = time.monotonic()
+        reference_outcomes = run_jobs(plan.jobs, max_workers=args.jobs)
+        reference_wall = time.monotonic() - phase_started
+        bad = [o for o in reference_outcomes if not o.ok]
+        if bad or len(reference_outcomes) != len(plan.jobs):
+            for outcome in bad:
+                print(
+                    f"error: reference run failed for "
+                    f"{outcome.job.describe()}: {outcome.error}",
+                    file=sys.stderr,
+                )
+            return EXIT_SIM_FAILURE
+        reference = {o.job.job_id: o.result for o in reference_outcomes}
+
+        deadline = args.deadline
+        if deadline is None:
+            per_job = max(
+                [
+                    (o.result.manifest or {}).get("elapsed_s", 0.0)
+                    for o in reference_outcomes
+                    if o.result is not None
+                ]
+                + [reference_wall * max(1, args.jobs) / len(plan.jobs)]
+            )
+            deadline = max(2.0, 8.0 * float(per_job))
+
+        # Phase 2: the same jobs, chaos armed, supervised.
+        policy = ChaosPolicy(
+            seed=args.chaos_seed,
+            rate=args.chaos_rate,
+            hang_seconds=deadline * 4,  # always past the watchdog
+            ledger_path=str(workdir / "chaos_ledger.jsonl"),
+        ).ensure_coverage(job_ids)
+        print(
+            f"chaos: phase 2/3 — chaotic run ({policy.describe()}, "
+            f"deadline {deadline:.1f}s)"
+        )
+        runner_mod.set_cache_path(workdir / "chaotic.sim_cache.json")
+        # Trace only the chaotic phase: the exec tracer derives
+        # <stem>.exec.jsonl from REPRO_TRACE, and the failure events
+        # (crashes, watchdog kills, requeues) all happen here.
+        trace_env = {
+            key: os.environ.get(key)
+            for key in ("REPRO_TRACE", "REPRO_TRACE_EVERY")
+        }
+        if args.trace:
+            os.environ["REPRO_TRACE"] = args.trace
+            os.environ["REPRO_TRACE_EVERY"] = str(max(1, args.trace_every))
+        try:
+            chaotic_outcomes = run_jobs(
+                plan.jobs,
+                max_workers=args.jobs,
+                supervisor=SupervisorPolicy(deadline=deadline),
+                chaos=policy,
+            )
+        finally:
+            if args.trace:
+                for key, value in trace_env.items():
+                    if value is None:
+                        os.environ.pop(key, None)
+                    else:
+                        os.environ[key] = value
+        report = last_report()
+        chaotic = {o.job.job_id: o.result for o in chaotic_outcomes if o.ok}
+
+        # Phase 3: cold resume through the chaotic store (torn shards
+        # quarantine on read; missing entries re-simulate).
+        print("chaos: phase 3/3 — cold resume on the chaotic cache")
+        runner_mod.drop_memory_state()
+        resumed_outcomes = run_jobs(plan.jobs, max_workers=args.jobs)
+        resumed = {o.job.job_id: o.result for o in resumed_outcomes if o.ok}
+
+        coverage = class_counts(policy.ledger_path)
+        failures: List[str] = []
+        for fault in policy.classes:
+            if coverage.get(fault, 0) < 1:
+                failures.append(f"fault class never fired: {fault}")
+        quarantined = [o for o in chaotic_outcomes if o.source == "quarantined"]
+        for outcome in quarantined:
+            failures.append(
+                f"job quarantined under chaos: {outcome.job.describe()} "
+                f"({outcome.error})"
+            )
+        for jid in job_ids:
+            if chaotic.get(jid) != reference.get(jid):
+                failures.append(f"chaotic result differs from reference: {jid}")
+            if resumed.get(jid) != reference.get(jid):
+                failures.append(f"resumed result differs from reference: {jid}")
+
+        injected = ", ".join(
+            f"{fault}×{coverage.get(fault, 0)}" for fault in policy.classes
+        )
+        print(f"chaos: injected {injected}")
+        if report is not None:
+            print(f"chaos: supervisor saw {report.describe()}")
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            print(
+                f"chaos: FAILED — {len(failures)} problem(s) across "
+                f"{len(plan.jobs)} jobs",
+                file=sys.stderr,
+            )
+            return EXIT_SIM_FAILURE
+        print(
+            f"chaos: OK — {len(plan.jobs)} jobs bit-identical to the "
+            f"fault-free reference, through every injected fault class"
+        )
+        return EXIT_OK
+    finally:
+        runner_mod.set_cache_path(original_cache)
+        if original_env is None:
+            os.environ.pop("REPRO_CACHE_PATH", None)
+        else:
+            os.environ["REPRO_CACHE_PATH"] = original_env
+        if args.keep_workdir:
+            print(f"chaos: workdir kept at {workdir}", file=sys.stderr)
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
 
 
 def _trace_command(argv: List[str]) -> int:
@@ -339,6 +572,8 @@ def main(argv=None) -> int:
         return _manifest_command(argv[1:])
     if argv and argv[0] == "report":
         return _report_command(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
@@ -393,6 +628,35 @@ def main(argv=None) -> int:
         "--no-resume",
         action="store_true",
         help="ignore a previous `all` campaign checkpoint and start over",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=None,
+        metavar="KEYS",
+        help="with `all`: restrict the campaign to these comma-separated "
+        "experiment keys",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline; jobs past it are watchdog-killed "
+        "and retried (quarantined after repeated offences)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="arm deterministic fault injection with this seed "
+        "(see `chaos` for the self-verifying campaign)",
+    )
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=None,
+        help="per-(fault, job, attempt) injection probability "
+        "(implies --chaos-seed 0 when given alone)",
     )
     parser.add_argument(
         "--trace",
@@ -460,45 +724,92 @@ def main(argv=None) -> int:
         install_retry_executor(policy)
     jobs = resolve_jobs(args.jobs)
 
+    # Chaos arms from the flags, else from REPRO_CHAOS (so any command can
+    # run under injection); the supervisor deadline from --deadline.
+    from repro.chaos import ChaosPolicy, from_env as chaos_from_env
+    from repro.exec import ShutdownFlag, SupervisorPolicy, graceful_signals
+
+    if args.chaos_rate is not None and not 0.0 <= args.chaos_rate <= 1.0:
+        parser.error("--chaos-rate must be in [0, 1]")
+    chaos: Optional[ChaosPolicy] = None
+    if args.chaos_seed is not None or args.chaos_rate is not None:
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed or 0,
+            **({"rate": args.chaos_rate} if args.chaos_rate is not None else {}),
+        )
+    else:
+        chaos = chaos_from_env()
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error("--deadline must be positive")
+    supervisor = (
+        SupervisorPolicy(deadline=args.deadline)
+        if args.deadline is not None
+        else None
+    )
+
     if args.experiment == "all":
-        if jobs > 1:
-            status = _prefetch(list(EXPERIMENTS), params, jobs, policy)
-            if status != EXIT_OK:
-                return status
-        # A campaign context ties the checkpoint to these parameters, so a
-        # resume never skips work that was done at different settings.
-        context = (
-            f"accesses={params.accesses_per_core} seed={params.seed} "
-            f"fault_rate={params.fault_rate} ecc={params.ecc}"
-        )
-        campaign = Campaign(
-            [(key, lambda k=key: run_one(k, params)) for key in EXPERIMENTS],
-            context=context,
-            resume=not args.no_resume,
-        )
-        try:
-            campaign.run()
-        except (SimulationFailed, SimulationTimeout) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            print(
-                f"campaign stopped after {len(campaign.completed)} of "
-                f"{len(campaign.steps)} experiments; re-run to resume",
-                file=sys.stderr,
+        keys = list(EXPERIMENTS)
+        if args.experiments:
+            keys = [k for k in args.experiments.split(",") if k]
+            unknown = [k for k in keys if k not in EXPERIMENTS]
+            if unknown:
+                parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+        shutdown = ShutdownFlag()
+        with graceful_signals(shutdown):
+            if jobs > 1 or chaos is not None or supervisor is not None:
+                status = _prefetch(
+                    keys, params, jobs, policy,
+                    supervisor=supervisor, chaos=chaos, shutdown=shutdown,
+                )
+                if status != EXIT_OK:
+                    return status
+            # A campaign context ties the checkpoint to these parameters,
+            # so a resume never skips work done at different settings.
+            context = (
+                f"accesses={params.accesses_per_core} seed={params.seed} "
+                f"fault_rate={params.fault_rate} ecc={params.ecc}"
+                + (f" experiments={','.join(keys)}" if args.experiments else "")
             )
-            return EXIT_SIM_FAILURE
-        if campaign.skipped:
-            print(
-                f"(resumed: skipped {len(campaign.skipped)} already-completed "
-                f"experiment(s): {', '.join(campaign.skipped)})"
+            campaign = Campaign(
+                [(key, lambda k=key: run_one(k, params)) for key in keys],
+                context=context,
+                resume=not args.no_resume,
             )
-        # per-step wall timings feed `report --flight`'s campaign section
-        campaign.write_flight_data()
+            try:
+                campaign.run(should_stop=lambda: shutdown.requested)
+            except (SimulationFailed, SimulationTimeout) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                print(
+                    f"campaign stopped after {len(campaign.completed)} of "
+                    f"{len(campaign.steps)} experiments; re-run to resume",
+                    file=sys.stderr,
+                )
+                return EXIT_SIM_FAILURE
+            if campaign.interrupted:
+                print(
+                    f"interrupted: campaign checkpointed after "
+                    f"{len(campaign.completed)} of {len(campaign.steps)} "
+                    f"experiments; re-run to resume",
+                    file=sys.stderr,
+                )
+                return EXIT_INTERRUPTED
+            if campaign.skipped:
+                print(
+                    f"(resumed: skipped {len(campaign.skipped)} "
+                    f"already-completed experiment(s): "
+                    f"{', '.join(campaign.skipped)})"
+                )
+            # per-step timings feed `report --flight`'s campaign section
+            campaign.write_flight_data()
         return EXIT_OK
 
     if args.experiment not in EXPERIMENTS:
         parser.error(f"unknown experiment {args.experiment!r}; try `list`")
-    if jobs > 1:
-        status = _prefetch([args.experiment], params, jobs, policy)
+    if jobs > 1 or chaos is not None or supervisor is not None:
+        status = _prefetch(
+            [args.experiment], params, jobs, policy,
+            supervisor=supervisor, chaos=chaos,
+        )
         if status != EXIT_OK:
             return status
     try:

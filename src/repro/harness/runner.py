@@ -268,14 +268,15 @@ def _save_entry(disk_key: str, entry: dict) -> None:
 
     Writing per entry instead of rewriting a monolithic store means two
     processes finishing different simulations at the same time *merge*
-    their results on disk instead of last-writer-wins clobbering.
+    their results on disk instead of last-writer-wins clobbering.  A
+    write that fails does not fail the run — but it is counted in the
+    ``exec.cache.write_error`` metric, logged once per shard, and feeds
+    the per-shard circuit breaker (see ``ShardedResultCache.safe_write``)
+    instead of vanishing silently.
     """
     if not _DISK_CACHE:
         return
-    try:
-        _store().write(disk_key, entry)
-    except OSError:
-        pass
+    _store().safe_write(disk_key, entry)
 
 
 def _result_to_dict(result: SimResult) -> dict:
@@ -413,6 +414,46 @@ def clear_cache(disk: bool = False) -> None:
         for path in (_CACHE_PATH, _migrated_path()):
             if path.exists():
                 path.unlink()
+
+
+def invalidate(
+    workload: str,
+    config_name: str,
+    *,
+    scale: int = DEFAULT_SCALE,
+    params: Optional[SimulationParams] = None,
+) -> None:
+    """Forget one cached result everywhere: memory, loaded store, disk.
+
+    The supervisor calls this when a job's payload fails validation
+    (e.g. a chaos-corrupted result): the poisoned entry must not survive
+    to be served to the retry, or to any later campaign.
+    """
+    params = params or SimulationParams(accesses_per_core=DEFAULT_ACCESSES)
+    key = _key(workload, config_name, scale, params)
+    disk_key = json.dumps(key)
+    _memory_cache.pop(key, None)
+    _disk_store.pop(disk_key, None)
+    if _DISK_CACHE:
+        _store().remove(disk_key)
+
+
+def set_cache_path(path) -> Path:
+    """Redirect the disk cache (memory state drops; workers follow.)
+
+    ``cli chaos`` isolates its reference and chaotic campaigns in
+    separate throwaway stores this way.  The environment mirror keeps
+    spawn-start worker processes (which re-import this module) pointed
+    at the same store as fork-start ones (which inherit it).
+    """
+    global _CACHE_PATH
+    _CACHE_PATH = Path(path)
+    os.environ["REPRO_CACHE_PATH"] = str(_CACHE_PATH)
+    from repro.exec.cache import reset_cache_health
+
+    reset_cache_health()
+    drop_memory_state()
+    return _CACHE_PATH
 
 
 def drop_memory_state() -> None:

@@ -24,8 +24,18 @@ from repro.resilience.faults import (
     FaultTimeline,
 )
 from repro.resilience.injector import FaultInjector, ResilienceStats
+from repro.resilience.taxonomy import (
+    CHAOS_CLASSES,
+    FAILURE_TAXONOMY,
+    FailureClass,
+    describe_taxonomy,
+)
 
 __all__ = [
+    "CHAOS_CLASSES",
+    "FAILURE_TAXONOMY",
+    "FailureClass",
+    "describe_taxonomy",
     "CLEAN",
     "CORRECTED",
     "DETECTED",

@@ -1,0 +1,124 @@
+"""Shared failure taxonomy: every failure class the stack can survive.
+
+One table, two consumers.  The *simulated* half (``dram.*``) is what the
+fault-injection layer of PR 1 throws at the modeled memory system; the
+*execution* half (``exec.*`` / ``cache.*``) is what the chaos harness
+(:mod:`repro.chaos`) throws at the harness itself — worker crashes,
+hangs, torn shard files, failed writes, corrupted payloads.  Each entry
+names how the failure is detected and how the stack recovers, and
+DESIGN.md Section 13 renders this table verbatim (a docs-consistency
+test keeps the two in sync).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class FailureClass:
+    """One named way the stack (simulated or real) can fail."""
+
+    name: str  # short key, e.g. "crash"
+    layer: str  # "dram" | "exec" | "cache"
+    description: str
+    detection: str
+    recovery: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.layer}.{self.name}"
+
+
+FAILURE_TAXONOMY: Dict[str, FailureClass] = {
+    fc.qualified: fc
+    for fc in (
+        # -- simulated failures (PR 1: repro.resilience fault model) ---------
+        FailureClass(
+            "transient",
+            "dram",
+            "a cosmic-ray bit flip in an L4 DRAM frame",
+            "ECC syndrome on read (SECDED corrects 1, detects 2)",
+            "correct in place, or invalidate + refetch from DDR",
+        ),
+        FailureClass(
+            "stuck",
+            "dram",
+            "a permanently stuck-at cell corrupting every access",
+            "repeated ECC detection on the same frame",
+            "invalidate + refetch; the frame keeps paying the penalty",
+        ),
+        # -- execution failures (this PR: repro.chaos + exec supervisor) -----
+        FailureClass(
+            "crash",
+            "exec",
+            "a worker process dies mid-job (os._exit, OOM kill, segfault)",
+            "BrokenProcessPool surfacing on the in-flight futures",
+            "rebuild the pool, requeue in-flight jobs, count the attempt; "
+            "quarantine the job after max_attempts",
+        ),
+        FailureClass(
+            "hang",
+            "exec",
+            "a worker wedges past the per-job wall-clock deadline",
+            "supervisor watchdog comparing job start markers to deadlines",
+            "terminate the pool's workers, requeue unfinished jobs, "
+            "count the attempt; quarantine after max_attempts",
+        ),
+        FailureClass(
+            "corrupt",
+            "exec",
+            "a job returns a garbled result payload",
+            "result validation (finite cycles/energy, rates in [0, 1])",
+            "invalidate the poisoned cache entry, requeue the job; "
+            "quarantine after max_attempts",
+        ),
+        FailureClass(
+            "torn_write",
+            "cache",
+            "a shard write is torn mid-file (power loss, full disk rename)",
+            "JSON decode failure on a later read",
+            "quarantine the torn file (*.corrupt) and re-simulate the entry",
+        ),
+        FailureClass(
+            "write_error",
+            "cache",
+            "a shard write fails outright (ENOSPC, EPERM, read-only disk)",
+            "OSError counted in the exec.cache.write_error metric, "
+            "path logged once per shard",
+            "job completes from memory; per-shard circuit breaker opens "
+            "after repeated errors so the campaign stops paying for a "
+            "dead disk",
+        ),
+    )
+}
+
+# The classes the chaos harness can inject at the exec seams, in the
+# deterministic order forced-coverage assignment walks them.
+CHAOS_CLASSES: Tuple[str, ...] = (
+    "crash",
+    "hang",
+    "torn_write",
+    "write_error",
+    "corrupt",
+)
+
+# Injection classes whose blast radius is the worker *process* (they only
+# fire inside pool workers — injecting them in the parent would kill or
+# stall the campaign itself rather than exercise its recovery).
+PROCESS_FATAL_CLASSES: Tuple[str, ...] = ("crash", "hang")
+
+
+def describe_taxonomy() -> str:
+    """The failure table as markdown (DESIGN.md Sec 13 embeds this shape)."""
+    lines = [
+        "| class | layer | failure | detected by | recovery |",
+        "|---|---|---|---|---|",
+    ]
+    for fc in FAILURE_TAXONOMY.values():
+        lines.append(
+            f"| `{fc.name}` | {fc.layer} | {fc.description} "
+            f"| {fc.detection} | {fc.recovery} |"
+        )
+    return "\n".join(lines)

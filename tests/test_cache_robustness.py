@@ -281,3 +281,106 @@ class TestFaultAwareKeys:
             "w", "c", 1, SimulationParams(fault_rate=3e13, ecc="none")
         )
         assert len({a, b, c}) == 3
+
+
+class TestWriteErrorAccounting:
+    """Shard write failures are counted, logged once, and breakered —
+    never silently swallowed (the old `except OSError: pass`)."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_health(self):
+        from repro.exec.cache import reset_cache_health
+
+        reset_cache_health()
+        yield
+        reset_cache_health()
+
+    def _failing_store(self, tmp_path, monkeypatch):
+        from repro.exec.cache import ShardedResultCache
+
+        store = ShardedResultCache(tmp_path / "store.d")
+        monkeypatch.setattr(
+            type(store), "write",
+            lambda self, key, result: (_ for _ in ()).throw(
+                OSError(28, "no space left on device")
+            ),
+        )
+        return store
+
+    def test_safe_write_counts_errors_and_reports_false(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.exec.cache import cache_health
+
+        store = self._failing_store(tmp_path, monkeypatch)
+        assert store.safe_write("k", {"v": 1}) is False
+        assert cache_health().write_errors == 1
+
+    def test_breaker_opens_after_threshold_and_skips_writes(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.exec.cache import cache_health
+
+        store = self._failing_store(tmp_path, monkeypatch)
+        for _ in range(3):
+            store.safe_write("k", {"v": 1})
+        health = cache_health()
+        assert health.is_open(store.entry_path("k"))
+        # breaker open: the write method is no longer even attempted
+        assert store.safe_write("k", {"v": 1}) is False
+        assert health.write_errors == 3
+        assert health.skipped_writes == 1
+
+    def test_breaker_is_per_shard(self, tmp_path, monkeypatch):
+        from repro.exec.cache import cache_health
+
+        store = self._failing_store(tmp_path, monkeypatch)
+        for _ in range(3):
+            store.safe_write("poisoned", {"v": 1})
+        assert cache_health().is_open(store.entry_path("poisoned"))
+        assert not cache_health().is_open(store.entry_path("healthy"))
+
+    def test_path_logged_once_per_shard(self, tmp_path, monkeypatch, caplog):
+        import logging
+
+        store = self._failing_store(tmp_path, monkeypatch)
+        with caplog.at_level(logging.WARNING, logger="repro.exec.cache"):
+            store.safe_write("k", {"v": 1})
+            store.safe_write("k", {"v": 1})
+        write_failed = [
+            r for r in caplog.records if "write failed" in r.getMessage()
+        ]
+        assert len(write_failed) == 1
+
+    def test_success_resets_the_consecutive_count(self, tmp_path):
+        from repro.exec.cache import ShardedResultCache, cache_health
+
+        store = ShardedResultCache(tmp_path / "store.d")
+        real_write = type(store).write
+        # two failures, one success, two failures: never reaches 3 in a row
+        health = cache_health()
+        path = store.entry_path("k")
+        health.record_error(path, OSError(28, "boom"))
+        health.record_error(path, OSError(28, "boom"))
+        assert store.safe_write("k", {"v": 1}) is True
+        health.record_error(path, OSError(28, "boom"))
+        health.record_error(path, OSError(28, "boom"))
+        assert not health.is_open(path)
+        assert real_write is type(store).write  # store untouched
+
+    def test_runner_save_entry_survives_failing_disk(
+        self, isolated_cache, monkeypatch
+    ):
+        from repro.exec import cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod.ShardedResultCache, "write",
+            lambda self, key, result: (_ for _ in ()).throw(
+                OSError(28, "no space left on device")
+            ),
+        )
+        counter = []
+        set_run_executor(_counting_executor(counter))
+        result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        assert result.cycles > 0  # the campaign result is unaffected
+        assert cache_mod.cache_health().write_errors >= 1

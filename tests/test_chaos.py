@@ -1,0 +1,256 @@
+"""Chaos-harness tests: decisions must be deterministic, coverage
+guaranteed, the ledger torn-line-safe, and every seam a no-op when
+chaos is off."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosPolicy,
+    class_counts,
+    controller,
+    parse_chaos_spec,
+    read_jsonl,
+)
+from repro.chaos.ledger import append_jsonl
+from repro.exec import validate_result
+from repro.exec.cache import ShardedResultCache
+from repro.resilience import CHAOS_CLASSES
+
+
+@pytest.fixture(autouse=True)
+def clean_controller():
+    yield
+    controller.deactivate()
+
+
+def _policy(tmp_path, **kw):
+    kw.setdefault("ledger_path", str(tmp_path / "ledger.jsonl"))
+    return ChaosPolicy(**kw)
+
+
+class TestPolicyDeterminism:
+    def test_same_seed_same_decisions(self, tmp_path):
+        a = _policy(tmp_path, seed=7, rate=0.3)
+        b = _policy(tmp_path, seed=7, rate=0.3)
+        sites = [f"job{i}" for i in range(50)]
+        for fault in CHAOS_CLASSES:
+            for site in sites:
+                for attempt in (1, 2):
+                    assert a.should_inject(fault, site, attempt) == (
+                        b.should_inject(fault, site, attempt)
+                    )
+
+    def test_different_seeds_differ_somewhere(self, tmp_path):
+        a = _policy(tmp_path, seed=1, rate=0.3)
+        b = _policy(tmp_path, seed=2, rate=0.3)
+        sites = [f"job{i}" for i in range(200)]
+        assert any(
+            a.should_inject("crash", s, 1) != b.should_inject("crash", s, 1)
+            for s in sites
+        )
+
+    def test_rate_zero_never_injects(self, tmp_path):
+        policy = _policy(tmp_path, rate=0.0)
+        assert not any(
+            policy.should_inject(fault, f"job{i}", 1)
+            for fault in CHAOS_CLASSES
+            for i in range(100)
+        )
+
+    def test_rate_one_respects_attempt_bound(self, tmp_path):
+        policy = _policy(tmp_path, rate=1.0, max_faulty_attempts=2)
+        assert policy.should_inject("crash", "job0", 1)
+        assert policy.should_inject("crash", "job0", 2)
+        # bounded injection: the attempt after the bound always succeeds
+        assert not policy.should_inject("crash", "job0", 3)
+
+    def test_unknown_class_never_injects(self, tmp_path):
+        policy = _policy(tmp_path, rate=1.0)
+        assert not policy.should_inject("meteor", "job0", 1)
+
+
+class TestEnsureCoverage:
+    def test_every_class_fires_at_least_once(self, tmp_path):
+        # rate 0: only the forced map can make classes fire
+        policy = _policy(tmp_path, rate=0.0).ensure_coverage(
+            [f"job{i}" for i in range(10)]
+        )
+        for fault in CHAOS_CLASSES:
+            assert any(
+                policy.should_inject(fault, f"job{i}", 1) for i in range(10)
+            ), fault
+
+    def test_forced_sites_are_distinct(self, tmp_path):
+        policy = _policy(tmp_path, rate=0.0).ensure_coverage(
+            [f"job{i}" for i in range(10)]
+        )
+        sites = [site for _fault, site in policy.forced]
+        assert len(sites) == len(set(sites))  # no class shadows another
+
+    def test_forced_only_fires_on_attempt_one(self, tmp_path):
+        policy = _policy(tmp_path, rate=0.0).ensure_coverage(["only-job"])
+        fault, site = policy.forced[0]
+        assert policy.should_inject(fault, site, 1)
+        assert not policy.should_inject(fault, site, 2)
+
+    def test_no_sites_is_a_noop(self, tmp_path):
+        policy = _policy(tmp_path, rate=0.0)
+        assert policy.ensure_coverage([]) == policy
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize("spec", ["", "0", "off", "false", "no"])
+    def test_disabled(self, spec):
+        assert parse_chaos_spec(spec) is None
+
+    @pytest.mark.parametrize("spec", ["1", "on", "true", "yes"])
+    def test_defaults(self, spec):
+        assert parse_chaos_spec(spec) == ChaosPolicy()
+
+    def test_key_value_pairs(self):
+        policy = parse_chaos_spec("seed=7, rate=0.2, hang=3, ledger=/tmp/x")
+        assert policy.seed == 7
+        assert policy.rate == 0.2
+        assert policy.hang_seconds == 3.0
+        assert policy.ledger_path == "/tmp/x"
+
+    @pytest.mark.parametrize("spec", ["seed=banana", "volume=11", "rate"])
+    def test_garbage_disables_rather_than_crashing(self, spec):
+        assert parse_chaos_spec(spec) is None
+
+
+class TestLedger:
+    def test_append_then_read_with_offset(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_jsonl(path, {"fault": "crash", "site": "a"})
+        offset, records = read_jsonl(path)
+        assert [r["fault"] for r in records] == ["crash"]
+        append_jsonl(path, {"fault": "hang", "site": "b"})
+        offset, records = read_jsonl(path, offset)
+        assert [r["fault"] for r in records] == ["hang"]
+
+    def test_torn_trailing_line_left_unconsumed(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_jsonl(path, {"fault": "crash"})
+        with open(path, "a") as handle:
+            handle.write('{"fault": "ha')  # a torn write mid-record
+        offset, records = read_jsonl(path)
+        assert len(records) == 1
+        # completing the line makes it readable from the same offset
+        with open(path, "a") as handle:
+            handle.write('ng"}\n')
+        _offset, records = read_jsonl(path, offset)
+        assert [r["fault"] for r in records] == ["hang"]
+
+    def test_class_counts(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        for fault in ("crash", "crash", "torn_write"):
+            append_jsonl(path, {"fault": fault})
+        assert class_counts(path) == {"crash": 2, "torn_write": 1}
+
+    def test_missing_ledger_counts_nothing(self, tmp_path):
+        assert class_counts(tmp_path / "nope.jsonl") == {}
+
+
+class TestControllerSeams:
+    def test_seams_are_noops_without_policy(self, tmp_path):
+        # no configure() call: nothing fires, nothing raises
+        controller.maybe_crash()
+        controller.maybe_hang()
+        assert controller.take_torn_write(tmp_path / "x") is False
+        controller.check_write_error(tmp_path / "x")
+        assert controller.corrupt("payload") == "payload"
+
+    def test_seams_are_noops_without_site(self, tmp_path):
+        controller.configure(_policy(tmp_path, rate=1.0))
+        # policy armed but no job site: the parent's own bookkeeping
+        # writes (checkpoints, seed_cache) must never be injected
+        assert controller.take_torn_write(tmp_path / "x") is False
+        controller.check_write_error(tmp_path / "x")
+
+    def test_write_error_seam_raises_enospc(self, tmp_path):
+        import errno
+
+        controller.configure(_policy(tmp_path, rate=1.0))
+        with controller.job_site("job0", 1):
+            with pytest.raises(OSError) as err:
+                controller.check_write_error(tmp_path / "x")
+        assert err.value.errno == errno.ENOSPC
+
+    def test_crash_and_hang_never_fire_in_parent(self, tmp_path):
+        controller.configure(_policy(tmp_path, rate=1.0, hang_seconds=60.0))
+        with controller.job_site("job0", 1):
+            controller.maybe_crash()  # os._exit would kill this test
+            controller.maybe_hang()  # a 60s sleep would time it out
+
+    def test_corrupt_seam_poisons_detectably(self, tmp_path):
+        from repro.sim.engine import SimulationParams, run_workload
+        from repro.harness.runner import resolve_config
+
+        result = run_workload(
+            "sphinx",
+            resolve_config("base", 4096),
+            SimulationParams(accesses_per_core=50, seed=1),
+        )
+        assert validate_result(result) is None
+        controller.configure(_policy(tmp_path, rate=1.0))
+        with controller.job_site("job0", 1):
+            poisoned = controller.corrupt(result)
+        assert validate_result(poisoned) is not None
+
+    def test_injections_are_recorded_in_the_ledger(self, tmp_path):
+        policy = _policy(tmp_path, rate=1.0)
+        controller.configure(policy)
+        with controller.job_site("job0", 1):
+            assert controller.take_torn_write(tmp_path / "x") is True
+        counts = class_counts(policy.ledger_path)
+        assert counts.get("torn_write") == 1
+
+
+class TestCacheSeams:
+    def test_torn_write_leaves_truncated_file_quarantined_on_read(
+        self, tmp_path
+    ):
+        store = ShardedResultCache(tmp_path / "store.d")
+        controller.configure(_policy(tmp_path, rate=0.0).ensure_coverage([]))
+        # force torn_write at this site only
+        policy = dataclasses.replace(
+            _policy(tmp_path, rate=0.0),
+            forced=(("torn_write", "job0"),),
+        )
+        controller.configure(policy)
+        with controller.job_site("job0", 1):
+            store.write("k", {"value": 42})
+        path = store.entry_path("k")
+        assert path.exists()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())  # really torn on disk
+        assert store.read("k") is None  # quarantined, not crashed
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_clean_write_survives_round_trip(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "store.d")
+        store.write("k", {"value": 42})
+        assert store.read("k") == {"value": 42}
+
+
+class TestExecutorWrapping:
+    def test_install_is_idempotent_and_uninstall_restores(self, tmp_path):
+        from repro.harness import runner as runner_mod
+
+        base = runner_mod._run_executor
+        controller.configure(_policy(tmp_path, rate=0.0))
+        try:
+            controller.install_executor_chaos()
+            wrapped = runner_mod._run_executor
+            assert wrapped is not base
+            controller.install_executor_chaos()
+            assert runner_mod._run_executor is wrapped  # no double wrap
+        finally:
+            controller.uninstall_executor_chaos()
+        assert runner_mod._run_executor is base

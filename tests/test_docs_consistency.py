@@ -61,3 +61,31 @@ def test_all_examples_have_docstrings_and_main():
         text = path.read_text()
         assert text.lstrip().startswith(("#!", '"""')), path.name
         assert "__main__" in text, f"{path.name} not runnable"
+
+
+def test_design_md_failure_taxonomy_matches_code():
+    """DESIGN.md Section 13 renders the taxonomy table verbatim from
+    ``repro.resilience.taxonomy`` — prose and code must not drift."""
+    from repro.resilience.taxonomy import describe_taxonomy
+
+    text = (ROOT / "DESIGN.md").read_text()
+    assert describe_taxonomy() in text, (
+        "DESIGN.md's failure-taxonomy table is out of sync with "
+        "FAILURE_TAXONOMY; re-render it with describe_taxonomy()"
+    )
+
+
+def test_readme_chaos_quickstart():
+    """The README documents the chaos harness entry points."""
+    text = (ROOT / "README.md").read_text()
+    for required in ("cli chaos", "--chaos-seed", "REPRO_CHAOS", "make chaos"):
+        assert required in text, f"README chaos quick-start missing {required}"
+
+
+def test_ci_runs_the_chaos_smoke():
+    """CI must run the self-verifying chaos campaign with a fixed seed
+    and archive the failure-event trace."""
+    text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "chaos-smoke" in text
+    assert "--chaos-seed" in text
+    assert ".exec.jsonl" in text
