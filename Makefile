@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check chaos bench bench-parallel bench-core bench-gate report flight examples clean
+.PHONY: install test check chaos serve service-smoke bench bench-parallel bench-core bench-gate report flight examples clean
 
 install:
 	python setup.py develop
@@ -18,6 +18,16 @@ check:
 chaos:
 	PYTHONPATH=src REPRO_ACCESSES=300 python -m repro.harness.cli chaos \
 		--chaos-seed 7 --chaos-rate 0.2 --jobs 2
+
+# Persistent sim-as-a-service daemon: submit campaigns over HTTP with
+# `cli submit KEYS`, stream NDJSON progress, SIGTERM to drain gracefully.
+serve:
+	PYTHONPATH=src python -m repro.harness.cli serve --port 7414
+
+# Daemon lifecycle smoke: cold campaign, 100%-cache-hit warm resubmission,
+# healthz/metrics, SIGTERM drain to a checkpoint, bit-identical resume.
+service-smoke:
+	PYTHONPATH=src REPRO_ACCESSES=300 python scripts/service_smoke.py
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q -s
@@ -53,7 +63,8 @@ examples:
 
 clean:
 	rm -f .sim_cache.json .sim_cache.json.migrated .sim_cache.corrupt.json
-	rm -rf .sim_cache.d
+	rm -rf .sim_cache.d .sim_cache.cas
+	rm -f .service_checkpoint.json
 	rm -f .campaign_checkpoint.json BENCH_parallel.json
 	rm -f .campaign_flight.json BENCH_core.ci.json FLIGHT_report.md FLIGHT_report.html
 	rm -f *.prof.json *.collapsed.txt

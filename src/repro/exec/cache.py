@@ -54,11 +54,14 @@ DEFAULT_BREAKER_THRESHOLD = 3
 
 
 class CacheHealth:
-    """Process-local ledger of shard write failures and open breakers."""
+    """Process-local ledger of shard reads, write failures, open breakers."""
 
     def __init__(self, breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD):
         self.breaker_threshold = breaker_threshold
         self.write_errors = 0
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
         self.consecutive: Dict[str, int] = {}
         self.open_breakers: Set[str] = set()
         self.skipped_writes = 0
@@ -97,6 +100,9 @@ class CacheHealth:
 
     def snapshot(self) -> Dict[str, object]:
         return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
             "write_errors": self.write_errors,
             "skipped_writes": self.skipped_writes,
             "open_breakers": sorted(self.open_breakers),
@@ -134,19 +140,29 @@ class ShardedResultCache:
     # -- reads ---------------------------------------------------------------
 
     def read(self, key: str) -> Optional[object]:
-        """The entry stored under ``key``, or None (quarantining a torn file)."""
+        """The entry stored under ``key``, or None (quarantining a torn file).
+
+        Any unreadable shard — truncated JSON, an ``OSError``, or a write
+        torn mid-UTF-8-sequence (which surfaces as ``UnicodeDecodeError``,
+        a ``ValueError`` that is *not* a ``JSONDecodeError``) — counts as
+        a plain miss; the evidence moves aside, the caller re-simulates.
+        """
         path = self.entry_path(key)
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            _health.misses += 1
             return None
-        except (json.JSONDecodeError, OSError):
+        except (ValueError, OSError):
             self._quarantine(path)
+            _health.misses += 1
             return None
         if not isinstance(payload, dict) or payload.get("key") != key:
             # Hash collision or foreign/garbled payload: treat as a miss.
             self._quarantine(path)
+            _health.misses += 1
             return None
+        _health.hits += 1
         return payload.get("result")
 
     def read_all(self) -> Dict[str, object]:
@@ -157,7 +173,7 @@ class ShardedResultCache:
         for path in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}")):
             try:
                 payload = json.loads(path.read_text())
-            except (json.JSONDecodeError, OSError):
+            except (ValueError, OSError):
                 self._quarantine(path)
                 continue
             if not isinstance(payload, dict) or "key" not in payload:
@@ -168,6 +184,40 @@ class ShardedResultCache:
 
     def exists(self, key: str) -> bool:
         return self.entry_path(key).exists()
+
+    def stats(self) -> Dict[str, object]:
+        """Store shape plus this process's read/write accounting.
+
+        ``shards``/``bytes`` walk the directory (cheap at result-cache
+        scale); ``quarantined_files`` counts the ``.corrupt`` evidence
+        left by torn reads.  The hit/miss/write_error counters come from
+        the process-local :class:`CacheHealth` ledger, so a long-lived
+        service can watch its cache behave over time (``GET /healthz``)
+        and the CLI can print the same numbers (``cli cache-info``).
+        """
+        shards = 0
+        nbytes = 0
+        quarantined_files = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                name = path.name
+                if name.endswith(_QUARANTINE_SUFFIX):
+                    quarantined_files += 1
+                    continue
+                if not name.endswith(_ENTRY_SUFFIX):
+                    continue
+                shards += 1
+                try:
+                    nbytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "shards": shards,
+            "bytes": nbytes,
+            "quarantined_files": quarantined_files,
+            **_health.snapshot(),
+        }
 
     # -- writes --------------------------------------------------------------
 
@@ -268,6 +318,7 @@ class ShardedResultCache:
     @staticmethod
     def _quarantine(path: Path) -> None:
         """Move an unreadable entry file aside so the evidence survives."""
+        _health.quarantined += 1
         try:
             os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
         except OSError:

@@ -9,18 +9,22 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
-from typing import Optional, TextIO
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional, TextIO
 
 
 @dataclass
 class ProgressSnapshot:
-    """One scheduler heartbeat, as handed to progress callbacks.
+    """One campaign heartbeat: the single struct every renderer shares.
 
-    ``cache_hit_pct`` and ``p50_wall_ms`` come from the scheduler's
-    metrics registry (``exec.jobs.*`` / ``exec.job.wall_ms``); they stay
-    None when the producer predates the registry, and the formatter then
-    omits their segments.
+    The scheduler's progress callback, the CLI progress line, and the
+    campaign service's NDJSON event stream all carry this dataclass, so
+    "what the terminal shows" and "what a remote client streams" cannot
+    drift.  ``cache_hit_pct``, ``p50_wall_ms``, ``p95_wall_ms``, and
+    ``ops_per_sec`` come from the producer's metrics registry
+    (``exec.jobs.*`` / ``exec.job.wall_ms``); they stay None when the
+    producer predates the registry, and the formatter then omits their
+    segments.
     """
 
     done: int
@@ -32,6 +36,20 @@ class ProgressSnapshot:
     label: str = ""
     cache_hit_pct: Optional[float] = None
     p50_wall_ms: Optional[float] = None
+    p95_wall_ms: Optional[float] = None
+    ops_per_sec: Optional[float] = None
+    elapsed_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (the service's ``progress`` NDJSON event)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProgressSnapshot":
+        """Rebuild from :meth:`to_dict` output, ignoring foreign keys (a
+        newer daemon may stream fields an older client doesn't know)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 def _fmt_eta(seconds: Optional[float]) -> str:
@@ -55,8 +73,12 @@ def format_progress(snap: ProgressSnapshot) -> str:
     ]
     if snap.cache_hit_pct is not None:
         parts.append(f"cache {snap.cache_hit_pct:.0f}%")
+    if snap.ops_per_sec is not None:
+        parts.append(f"{snap.ops_per_sec:.1f} jobs/s")
     if snap.p50_wall_ms is not None:
         parts.append(f"p50 {snap.p50_wall_ms / 1000.0:.1f}s")
+    if snap.p95_wall_ms is not None:
+        parts.append(f"p95 {snap.p95_wall_ms / 1000.0:.1f}s")
     line = " · ".join(parts)
     if snap.label:
         line += f" ({snap.label})"

@@ -160,29 +160,43 @@ class _Tracker:
         elapsed = time.monotonic() - self._start
         return elapsed / executed * remaining
 
+    def snapshot(self, label: str = "") -> ProgressSnapshot:
+        """The current heartbeat (shared by the progress callback and the
+        campaign service's NDJSON stream — one struct, two renderers)."""
+        finished = self.done + self.failed
+        elapsed = time.monotonic() - self._start
+        executed = finished - self.cached
+        return ProgressSnapshot(
+            done=self.done,
+            running=self.running,
+            failed=self.failed,
+            total=self.total,
+            cached=self.cached,
+            eta_seconds=self._eta(),
+            label=label,
+            cache_hit_pct=(
+                100.0 * self.cached / finished if finished else None
+            ),
+            p50_wall_ms=(
+                float(self._wall_ms.percentile(50))
+                if self._wall_ms.total
+                else None
+            ),
+            p95_wall_ms=(
+                float(self._wall_ms.percentile(95))
+                if self._wall_ms.total
+                else None
+            ),
+            ops_per_sec=(
+                executed / elapsed if executed > 0 and elapsed > 0 else None
+            ),
+            elapsed_s=elapsed,
+        )
+
     def emit(self, label: str = "") -> None:
         if self.callback is None:
             return
-        finished = self.done + self.failed
-        self.callback(
-            ProgressSnapshot(
-                done=self.done,
-                running=self.running,
-                failed=self.failed,
-                total=self.total,
-                cached=self.cached,
-                eta_seconds=self._eta(),
-                label=label,
-                cache_hit_pct=(
-                    100.0 * self.cached / finished if finished else None
-                ),
-                p50_wall_ms=(
-                    float(self._wall_ms.percentile(50))
-                    if self._wall_ms.total
-                    else None
-                ),
-            )
-        )
+        self.callback(self.snapshot(label))
 
     def step(self, outcome: JobOutcome) -> None:
         label = outcome.job.describe()

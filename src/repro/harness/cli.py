@@ -12,6 +12,9 @@ Usage::
     python -m repro.harness.cli trace summarize /tmp/dice-trace.jsonl
     python -m repro.harness.cli manifest show mcf dice
     python -m repro.harness.cli report --flight --check
+    python -m repro.harness.cli serve --port 7414 --jobs 4
+    python -m repro.harness.cli submit fig13 --port 7414
+    python -m repro.harness.cli cache-info
 
 Results are cached on disk, so regenerating a second figure that shares
 configurations with the first is nearly instant.  ``all`` checkpoints its
@@ -28,6 +31,11 @@ so parallel output is bit-identical to ``--jobs 1``.  A progress line
 injected at every exec seam and the final results asserted bit-identical
 to a fault-free run (see ``--chaos-seed`` / ``--chaos-rate``, or the
 ``REPRO_CHAOS`` environment variable for arming chaos on any command).
+
+``cli serve`` turns the harness into a persistent sim-as-a-service
+daemon (one worker pool, one shared cache, many clients); ``cli submit``
+sends a campaign to a running daemon and streams its NDJSON progress;
+``cli cache-info`` prints result-cache and content-store statistics.
 
 Exit codes: 0 success, 2 usage error (unknown experiment/flag), 3 a
 simulation failed after all retries (remaining jobs are still drained
@@ -563,6 +571,221 @@ def _report_command(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def _serve_command(argv: List[str]) -> int:
+    """``repro serve`` — run the persistent campaign-service daemon.
+
+    The daemon owns one supervised worker pool and the shared result
+    cache; clients submit campaigns over HTTP (``cli submit``, or plain
+    ``curl``) and stream NDJSON progress back.  SIGTERM drains
+    gracefully: in-flight jobs get a grace window, unfinished campaigns
+    checkpoint, and a restart resumes them bit-identically from cache.
+    """
+    import asyncio
+    from pathlib import Path
+
+    from repro.service import DEFAULT_CHECKPOINT, ServiceConfig, run_service
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli serve",
+        description="Run the sim-as-a-service campaign daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7414,
+        help="listen port (0 picks an ephemeral port, announced on stderr)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="pending-job bound; submissions past it get 429 + Retry-After",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=10.0,
+        help="drain: seconds in-flight jobs may finish in before checkpoint",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=str(DEFAULT_CHECKPOINT),
+        help="where drained campaigns checkpoint for resume",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore an existing checkpoint instead of resuming it",
+    )
+    parser.add_argument(
+        "--no-promote",
+        action="store_true",
+        help="skip promoting the shard cache into the content store",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.max_queue < 0:
+        parser.error("--max-queue must be >= 0")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        max_queue=args.max_queue,
+        grace=args.grace,
+        checkpoint=Path(args.checkpoint),
+        resume=not args.no_resume,
+        promote=not args.no_promote,
+    )
+    try:
+        return asyncio.run(run_service(config))
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
+
+
+def _submit_command(argv: List[str]) -> int:
+    """``repro submit KEYS`` — send a campaign to a running daemon.
+
+    Streams the daemon's NDJSON events and renders them through the same
+    :func:`repro.exec.progress.format_progress` line the local scheduler
+    prints — remote progress and local progress are one code path.
+    """
+    from repro.exec.progress import ProgressSnapshot, format_progress
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli submit",
+        description="Submit a campaign to a running `cli serve` daemon.",
+    )
+    parser.add_argument(
+        "experiments",
+        help="comma-separated experiment keys (e.g. fig13 or fig10,table4)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7414)
+    parser.add_argument("--accesses", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--fault-rate", type=float, default=None)
+    parser.add_argument("--ecc", choices=SCHEMES, default=None)
+    parser.add_argument(
+        "--client",
+        default="cli",
+        help="client name for the daemon's per-client fair scheduling",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the final results document as JSON on stdout",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+    keys = [k for k in args.experiments.split(",") if k]
+    if not keys:
+        parser.error("no experiment keys given")
+    unknown = [k for k in keys if k not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+
+    def on_event(event):
+        kind = event.get("event")
+        if kind == "progress":
+            snap = ProgressSnapshot.from_dict(event)
+            print(f"\r\x1b[2K{format_progress(snap)}", end="", file=sys.stderr)
+        elif kind == "job" and event.get("status") == "failed":
+            print(
+                f"\nerror: {event.get('label')}: {event.get('error')}",
+                file=sys.stderr,
+            )
+        elif kind == "done":
+            print(file=sys.stderr)
+
+    try:
+        doc = client.run_campaign(
+            experiments=keys,
+            client=args.client,
+            accesses=args.accesses,
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            ecc=args.ecc,
+            on_event=on_event,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.status == 429 and exc.retry_after:
+            print(
+                f"the daemon's queue is full; retry in ~{exc.retry_after}s",
+                file=sys.stderr,
+            )
+        return EXIT_SIM_FAILURE if exc.status >= 500 else EXIT_USAGE
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach the daemon at "
+            f"{args.host}:{args.port}: {exc} (is `cli serve` running?)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    final = doc.get("final") or {}
+    status = final.get("status") or doc.get("status")
+    submitted = doc.get("submitted") or {}
+    print(
+        f"campaign {doc.get('id')}: {status} — "
+        f"{final.get('done', 0)}/{final.get('total', '?')} jobs "
+        f"({submitted.get('cached', 0)} cached at submit, "
+        f"{submitted.get('deduped', 0)} deduped, "
+        f"{final.get('failed', 0)} failed)",
+        file=sys.stderr,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    if status == "drained":
+        return EXIT_INTERRUPTED
+    return EXIT_OK if status == "completed" else EXIT_SIM_FAILURE
+
+
+def _cache_info_command(argv: List[str]) -> int:
+    """``repro cache-info`` — result-cache and content-store statistics."""
+    import json
+
+    from repro.harness import runner as runner_mod
+    from repro.service.store import ContentStore
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli cache-info",
+        description="Print result-cache and content-store statistics.",
+    )
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    cache = runner_mod.cache_stats()
+    cas = ContentStore(runner_mod._CACHE_PATH.with_suffix(".cas")).stats()
+    if args.json:
+        print(json.dumps({"cache": cache, "content_store": cas}, indent=2,
+                         sort_keys=True))
+        return EXIT_OK
+    print("result cache (sharded):")
+    for name in ("root", "shards", "bytes", "quarantined_files", "hits",
+                 "misses", "quarantined", "write_errors", "skipped_writes",
+                 "open_breakers", "memory_entries", "loaded_disk_entries",
+                 "disk_cache_enabled"):
+        if name in cache:
+            print(f"  {name:20s} {cache[name]}")
+    print("content store (CAS):")
+    for name in ("root", "objects", "refs", "bytes", "quarantined"):
+        print(f"  {name:20s} {cas[name]}")
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # observability subcommands, dispatched before experiment parsing
@@ -574,6 +797,13 @@ def main(argv=None) -> int:
         return _report_command(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_command(argv[1:])
+    # service subcommands: the daemon, its client, and cache introspection
+    if argv and argv[0] == "serve":
+        return _serve_command(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_command(argv[1:])
+    if argv and argv[0] == "cache-info":
+        return _cache_info_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",

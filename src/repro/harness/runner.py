@@ -456,6 +456,21 @@ def set_cache_path(path) -> Path:
     return _CACHE_PATH
 
 
+def cache_stats() -> Dict[str, object]:
+    """One snapshot of the whole result-cache stack, JSON-ready.
+
+    Joins the sharded store's shape (shards, bytes, quarantine evidence)
+    and this process's hit/miss/write-error ledger with the in-memory
+    layer's entry counts.  Served verbatim by the campaign service's
+    ``GET /healthz`` and printed by ``cli cache-info``.
+    """
+    stats = _store().stats()
+    stats["disk_cache_enabled"] = _DISK_CACHE
+    stats["memory_entries"] = len(_memory_cache)
+    stats["loaded_disk_entries"] = len(_disk_store)
+    return stats
+
+
 def drop_memory_state() -> None:
     """Forget all in-process cache state, keeping disk intact.
 

@@ -1,0 +1,292 @@
+"""Campaign records: job specs, per-job states, events, checkpoints.
+
+A *campaign* is one client submission — a set of (workload × config ×
+params) jobs planned from experiment names or given raw.  The daemon
+keeps one :class:`CampaignState` per submission: an ordered job list,
+per-job status, the accumulated results, and an append-only event log
+that any number of NDJSON watchers replay and follow.
+
+Checkpoints make drain bit-identically resumable: the daemon persists
+the *specs* of unfinished campaigns (never results — those live in the
+result cache / content store), so a restarted daemon re-plans the same
+jobs and the cache answers everything that already ran.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.exec.job import Job, make_job
+from repro.exec.progress import ProgressSnapshot
+from repro.sim.engine import SimulationParams
+from repro.sim.stats import LatencyHistogram
+
+CHECKPOINT_VERSION = 1
+
+DEFAULT_CHECKPOINT = Path(".service_checkpoint.json")
+
+# terminal job states; a campaign completes when every job reaches one
+DONE_STATES = ("done", "failed")
+
+
+def job_to_spec(job: Job) -> Dict[str, object]:
+    """A JSON-ready spec that :func:`job_from_spec` round-trips exactly."""
+    return {
+        "workload": job.workload,
+        "config": job.config_name,
+        "scale": job.scale,
+        "accesses": job.params.accesses_per_core,
+        "warmup_fraction": job.params.warmup_fraction,
+        "seed": job.params.seed,
+        "fault_rate": job.params.fault_rate,
+        "ecc": job.params.ecc,
+    }
+
+
+def job_from_spec(spec: Dict[str, object]) -> Job:
+    """Rebuild a job; raises ``ValueError`` on a malformed spec."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"job spec is {type(spec).__name__}, not an object")
+    for required in ("workload", "config"):
+        if not isinstance(spec.get(required), str) or not spec[required]:
+            raise ValueError(f"job spec needs a non-empty {required!r}")
+    from repro.harness.runner import DEFAULT_ACCESSES
+
+    try:
+        accesses = int(spec.get("accesses") or DEFAULT_ACCESSES)
+        params = SimulationParams(
+            accesses_per_core=accesses,
+            warmup_fraction=float(
+                spec.get("warmup_fraction", SimulationParams().warmup_fraction)
+            ),
+            seed=int(spec.get("seed", SimulationParams().seed)),
+            fault_rate=float(spec.get("fault_rate", 0.0)),
+            ecc=str(spec.get("ecc", "secded")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"malformed job spec parameters: {exc}") from exc
+    scale = spec.get("scale")
+    return make_job(
+        str(spec["workload"]),
+        str(spec["config"]),
+        scale=int(scale) if scale is not None else None,
+        params=params,
+    )
+
+
+@dataclass
+class JobState:
+    """Where one job of one campaign stands."""
+
+    job: Job
+    status: str = "pending"  # pending | running | done | failed
+    source: str = ""  # cache | dedup | run | ""
+    error: Optional[str] = None
+    wall_ms: Optional[float] = None
+
+
+class CampaignState:
+    """One submission's jobs, results, and append-only event log."""
+
+    def __init__(
+        self,
+        campaign_id: str,
+        client: str,
+        jobs: List[Job],
+        *,
+        experiments: Optional[List[str]] = None,
+    ) -> None:
+        self.id = campaign_id
+        self.client = client
+        self.jobs = list(jobs)
+        self.experiments = list(experiments or [])
+        self.states: Dict[str, JobState] = {
+            job.job_id: JobState(job) for job in self.jobs
+        }
+        self.results: Dict[str, object] = {}
+        self.status = "running"  # running | completed | failed | drained
+        self.events: List[Dict[str, object]] = []
+        self._event_cond = asyncio.Condition()
+        self._started = time.monotonic()
+        self._wall_ms = LatencyHistogram()
+
+    # -- accounting ----------------------------------------------------------
+
+    def _count(self, *statuses: str) -> int:
+        return sum(
+            1 for state in self.states.values() if state.status in statuses
+        )
+
+    @property
+    def done(self) -> int:
+        return self._count("done")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def running(self) -> int:
+        return self._count("running")
+
+    @property
+    def cached(self) -> int:
+        return sum(
+            1
+            for state in self.states.values()
+            if state.status == "done" and state.source in ("cache", "dedup")
+        )
+
+    @property
+    def finished(self) -> bool:
+        return all(
+            state.status in DONE_STATES for state in self.states.values()
+        )
+
+    def snapshot(self) -> ProgressSnapshot:
+        """This campaign's heartbeat — the same struct the CLI prints."""
+        finished = self.done + self.failed
+        elapsed = time.monotonic() - self._started
+        executed = finished - self.cached
+        return ProgressSnapshot(
+            done=self.done,
+            running=self.running,
+            failed=self.failed,
+            total=len(self.jobs),
+            cached=self.cached,
+            eta_seconds=None if not self.finished else 0.0,
+            label=self.id,
+            cache_hit_pct=(
+                100.0 * self.cached / finished if finished else None
+            ),
+            p50_wall_ms=(
+                float(self._wall_ms.percentile(50))
+                if self._wall_ms.total
+                else None
+            ),
+            p95_wall_ms=(
+                float(self._wall_ms.percentile(95))
+                if self._wall_ms.total
+                else None
+            ),
+            ops_per_sec=(
+                executed / elapsed if executed > 0 and elapsed > 0 else None
+            ),
+            elapsed_s=elapsed,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """The ``GET /campaigns/{id}`` status document."""
+        return {
+            "id": self.id,
+            "client": self.client,
+            "status": self.status,
+            "experiments": self.experiments,
+            "jobs": len(self.jobs),
+            "done": self.done,
+            "failed": self.failed,
+            "running": self.running,
+            "cached": self.cached,
+            "progress": self.snapshot().to_dict(),
+        }
+
+    # -- event log -----------------------------------------------------------
+
+    async def emit(self, event: Dict[str, object]) -> None:
+        """Append one event and wake every stream following this campaign."""
+        async with self._event_cond:
+            self.events.append(event)
+            self._event_cond.notify_all()
+
+    async def wait_for_event(self, index: int) -> bool:
+        """Block until ``events[index]`` exists; False when the campaign is
+        finished and no further events will ever arrive."""
+        async with self._event_cond:
+            while index >= len(self.events):
+                if self.status != "running":
+                    return False
+                await self._event_cond.wait()
+            return True
+
+    # -- job completion ------------------------------------------------------
+
+    def record_wall_ms(self, wall_ms: Optional[float]) -> None:
+        if wall_ms is not None and wall_ms >= 0:
+            self._wall_ms.record(int(wall_ms))
+
+
+# ---------------------------------------------------------------------------
+# checkpointing
+
+
+def checkpoint_payload(campaigns: List[CampaignState]) -> Dict[str, object]:
+    return {
+        "version": CHECKPOINT_VERSION,
+        "campaigns": [
+            {
+                "id": campaign.id,
+                "client": campaign.client,
+                "experiments": campaign.experiments,
+                "jobs": [job_to_spec(job) for job in campaign.jobs],
+            }
+            for campaign in campaigns
+        ],
+    }
+
+
+def write_checkpoint(path: Path, campaigns: List[CampaignState]) -> int:
+    """Atomically persist the specs of unfinished campaigns; the count.
+
+    An empty list removes the checkpoint — a cleanly drained daemon
+    leaves nothing behind to resume.
+    """
+    path = Path(path)
+    if not campaigns:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return 0
+    payload = json.dumps(checkpoint_payload(campaigns), sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent or Path(".")
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(campaigns)
+
+
+def load_checkpoint(path: Path) -> List[Dict[str, object]]:
+    """The checkpointed campaign specs, oldest first ([] when none)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return []
+    except (ValueError, OSError):
+        return []  # a torn checkpoint resumes nothing, breaks nothing
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != CHECKPOINT_VERSION
+        or not isinstance(payload.get("campaigns"), list)
+    ):
+        return []
+    return [c for c in payload["campaigns"] if isinstance(c, dict)]

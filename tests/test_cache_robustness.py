@@ -384,3 +384,59 @@ class TestWriteErrorAccounting:
         result = cached_run("sphinx", "base", scale=65536, params=PARAMS)
         assert result.cycles > 0  # the campaign result is unaffected
         assert cache_mod.cache_health().write_errors >= 1
+
+
+class TestCacheStats:
+    """`cache.stats()` / `runner.cache_stats()` — the cache-info surface."""
+
+    def test_torn_utf8_shard_is_a_miss_not_a_crash(
+        self, isolated_cache, monkeypatch
+    ):
+        """Regression: a shard torn mid-UTF-8 sequence raises
+        UnicodeDecodeError (a ValueError, *not* a JSONDecodeError) from
+        read_text(); peek_cached must treat it as a quarantined miss."""
+        from repro.exec.cache import reset_cache_health
+
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        (entry_file,) = _entry_files(isolated_cache)
+        entry_file.write_bytes(b'{"key": "\xff\xfe torn mid-sequence')
+        _fresh_process(monkeypatch)
+        reset_cache_health()
+        assert peek_cached("sphinx", "base", scale=65536, params=PARAMS) is None
+        quarantined = list(_shard_dir(isolated_cache).glob("*.corrupt"))
+        assert len(quarantined) == 1
+        from repro.exec.cache import cache_health
+
+        assert cache_health().quarantined == 1
+        assert cache_health().misses >= 1
+
+    def test_store_stats_shape(self, isolated_cache):
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        stats = runner_mod._store().stats()
+        assert stats["shards"] == 1
+        assert stats["bytes"] > 0
+        assert stats["quarantined_files"] == 0
+        for counter in ("hits", "misses", "quarantined", "write_errors",
+                        "skipped_writes", "open_breakers"):
+            assert counter in stats
+
+    def test_hit_and_miss_counters_move(self, isolated_cache, monkeypatch):
+        from repro.exec.cache import cache_health, reset_cache_health
+
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        _fresh_process(monkeypatch)
+        # skip the bulk read_all() preload so lookups take the per-shard
+        # read() path (the one the hit/miss counters instrument)
+        monkeypatch.setattr(runner_mod, "_disk_loaded", True)
+        reset_cache_health()
+        assert peek_cached("sphinx", "base", scale=65536, params=PARAMS)
+        assert cache_health().hits == 1
+        assert peek_cached("sphinx", "tsi", scale=65536, params=PARAMS) is None
+        assert cache_health().misses == 1
+
+    def test_runner_cache_stats_merges_layers(self, isolated_cache):
+        cached_run("sphinx", "base", scale=65536, params=PARAMS)
+        stats = runner_mod.cache_stats()
+        assert stats["shards"] == 1
+        assert stats["disk_cache_enabled"] is True
+        assert stats["memory_entries"] == 1

@@ -1,0 +1,375 @@
+"""End-to-end campaign-service tests: the daemon runs in a background
+thread of this process (so its fork()ed workers inherit the isolated
+cache), and real HTTP clients talk to it over localhost.
+
+The load-bearing assertions mirror the service's contract:
+
+* two simultaneous submitters of overlapping campaigns get bit-identical
+  results with the overlap simulated **exactly once**;
+* a warm resubmission is answered 100% from cache without touching the
+  worker pool;
+* drain checkpoints unfinished campaigns and a restarted daemon resumes
+  them bit-identically;
+* a full queue answers 429 + Retry-After instead of buffering.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.exec.progress import ProgressSnapshot
+from repro.harness.runner import set_run_executor
+from repro.service import ServiceConfig, SimService
+from repro.service.client import ServiceClient, ServiceError
+from repro.sim.engine import SimulationParams, run_workload
+
+TINY = {"accesses": 120, "seed": 9}
+
+
+def _specs(*pairs, **overrides):
+    merged = {**TINY, **overrides}
+    return [
+        {"workload": wl, "config": cfg, **merged} for wl, cfg in pairs
+    ]
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    cache_path = tmp_path / ".sim_cache.json"
+    monkeypatch.setattr(runner_mod, "_CACHE_PATH", cache_path)
+    monkeypatch.setattr(runner_mod, "_DISK_CACHE", True)
+    monkeypatch.setattr(runner_mod, "_disk_loaded", False)
+    monkeypatch.setattr(runner_mod, "_disk_store", {})
+    runner_mod._memory_cache.clear()
+    yield cache_path
+    runner_mod._memory_cache.clear()
+    set_run_executor(None)
+
+
+class DaemonHandle:
+    """One in-process daemon on its own thread + event loop."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.service: SimService = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        import asyncio
+
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        import asyncio
+
+        self.loop = asyncio.get_running_loop()
+        self.service = SimService(self.config)
+        await self.service.start()
+        self._ready.set()
+        await self.service.serve_forever()
+
+    def start(self) -> "DaemonHandle":
+        self._thread.start()
+        assert self._ready.wait(30), "daemon did not come up"
+        return self
+
+    @property
+    def client(self) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.service.port, timeout=120.0)
+
+    def drain(self) -> None:
+        import asyncio
+
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.service.drain("test"), self.loop
+            ).result(60)
+        self._thread.join(30)
+        assert not self._thread.is_alive()
+
+    def counters(self) -> dict:
+        return self.client.metrics()["counters"]
+
+
+@pytest.fixture
+def daemon(isolated_cache, tmp_path):
+    handle = DaemonHandle(
+        ServiceConfig(
+            port=0,
+            workers=2,
+            max_queue=64,
+            grace=5.0,
+            checkpoint=tmp_path / "service_ckpt.json",
+        )
+    ).start()
+    yield handle
+    handle.drain()
+
+
+class TestConcurrentSubmitters:
+    def test_overlap_simulated_exactly_once_bit_identical(self, daemon):
+        jobs_a = _specs(
+            ("bc_twi", "base"), ("bc_twi", "dice"),
+            ("cc_twi", "base"), ("cc_twi", "dice"),
+        )
+        jobs_b = _specs(
+            ("cc_twi", "base"), ("cc_twi", "dice"),  # overlaps A
+            ("pr_twi", "base"), ("pr_twi", "dice"),
+        )
+        docs = {}
+
+        def submit(name, jobs):
+            docs[name] = daemon.client.run_campaign(jobs=jobs, client=name)
+
+        threads = [
+            threading.Thread(target=submit, args=("alice", jobs_a)),
+            threading.Thread(target=submit, args=("bob", jobs_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert docs["alice"]["final"]["status"] == "completed"
+        assert docs["bob"]["final"]["status"] == "completed"
+        assert docs["alice"]["final"]["failed"] == 0
+        assert docs["bob"]["final"]["failed"] == 0
+
+        # the overlap (cc_twi × base/dice) is byte-for-byte the same result
+        overlap = set(docs["alice"]["results"]) & set(docs["bob"]["results"])
+        assert len(overlap) == 2
+        for job_id in overlap:
+            assert (
+                docs["alice"]["results"][job_id]
+                == docs["bob"]["results"][job_id]
+            )
+
+        # ...and was simulated exactly once: 6 unique jobs, 8 submitted
+        counters = daemon.counters()
+        assert counters["service.jobs.total"] == 8
+        assert counters["service.jobs.executed"] == 6
+        assert counters["service.jobs.failed"] == 0
+        # the 2 shared jobs were answered by dedup-subscription or by the
+        # cache (depending on which client got there first) — never re-run
+        assert (
+            counters["service.jobs.deduped"] + counters["service.jobs.cached"]
+            == 2
+        )
+        # the exec-layer cache agrees: one shard per unique job, no more
+        assert runner_mod.cache_stats()["shards"] == 6
+
+        # bit-identical to a direct serial simulation (no cache involved);
+        # SimResult's == ignores the manifest, whose host/wall-clock
+        # provenance legitimately differs between runs
+        params = SimulationParams(accesses_per_core=120, seed=9)
+        direct = run_workload(
+            "cc_twi", runner_mod.resolve_config("base"), params
+        )
+        served = docs["alice"]["results"][
+            next(
+                jid
+                for jid, payload in docs["alice"]["results"].items()
+                if payload["manifest"]["config"] == "base"
+                and payload["manifest"]["workload"] == "cc_twi"
+            )
+        ]
+        assert runner_mod._result_from_dict(served) == direct
+
+
+class TestWarmResubmission:
+    def test_second_submission_is_pure_cache_hit(self, daemon):
+        jobs = _specs(("bc_twi", "base"), ("bc_twi", "dice"))
+        first = daemon.client.run_campaign(jobs=jobs, client="warm")
+        assert first["final"]["status"] == "completed"
+        executed_before = daemon.counters()["service.jobs.executed"]
+
+        second = daemon.client.submit(jobs=jobs, client="warm")
+        # answered synchronously at POST time: already completed, all cached
+        assert second["status"] == "completed"
+        assert second["cached"] == 2
+        assert second["queued"] == 0
+        counters = daemon.counters()
+        assert counters["service.jobs.executed"] == executed_before
+        assert counters["service.jobs.cached"] >= 2
+        # and byte-identical to the first campaign's results
+        again = daemon.client.results(str(second["id"]))
+        assert again["results"] == first["results"]
+
+
+class TestStreamingAndIntrospection:
+    def test_ndjson_stream_shape(self, daemon):
+        jobs = _specs(("cc_web", "base"), ("cc_web", "dice"))
+        submitted = daemon.client.submit(jobs=jobs, client="stream")
+        events = list(daemon.client.events(str(submitted["id"])))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign"
+        assert kinds[-1] == "done"
+        job_events = [e for e in events if e["event"] == "job"]
+        assert len(job_events) == 2
+        assert all(e["status"] == "done" for e in job_events)
+        assert all(e["source"] in ("run", "dedup", "cache") for e in job_events)
+        # progress heartbeats parse into the CLI's own snapshot struct
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress
+        snap = ProgressSnapshot.from_dict(progress[-1])
+        assert snap.done == 2 and snap.total == 2
+
+    def test_healthz_and_metrics_surface_cache_stats(self, daemon):
+        daemon.client.run_campaign(
+            jobs=_specs(("mix1", "base")), client="health"
+        )
+        health = daemon.client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["cache"]["shards"] == 1
+        for counter in ("hits", "misses", "write_errors"):
+            assert counter in health["cache"]
+        assert health["content_store"]["objects"] == 1
+        assert health["campaigns"] == {"completed": 1}
+        metrics = daemon.client.metrics()
+        assert metrics["counters"]["service.campaigns.completed"] == 1
+        assert "service.job.wall_ms" in metrics["histograms"]
+
+    def test_unknown_routes_and_campaigns_are_404(self, daemon):
+        with pytest.raises(ServiceError) as excinfo:
+            daemon.client.campaign("c9999-nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            daemon.client._request("GET", "/frobnicate")
+        assert excinfo.value.status == 404
+
+    def test_malformed_submissions_are_400(self, daemon):
+        with pytest.raises(ServiceError) as excinfo:
+            daemon.client.submit(experiments=["not-an-experiment"])
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            daemon.client.submit(jobs=[{"workload": "bc_twi"}])  # no config
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            daemon.client._request("POST", "/campaigns", {"client": "empty"})
+        assert excinfo.value.status == 400  # plans no jobs
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(
+        self, isolated_cache, tmp_path
+    ):
+        handle = DaemonHandle(
+            ServiceConfig(
+                port=0,
+                workers=1,
+                max_queue=0,  # no waiting room at all
+                grace=5.0,
+                checkpoint=tmp_path / "bp_ckpt.json",
+            )
+        ).start()
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                handle.client.submit(
+                    jobs=_specs(("pr_web", "base")), client="pushy"
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after >= 1
+            assert (
+                handle.counters()["service.backpressure.rejected"] == 1
+            )
+            # a rejected submission leaves no campaign behind
+            assert handle.client._request("GET", "/campaigns") == {
+                "campaigns": []
+            }
+            # cache hits are still admitted: they need no queue slot
+            runner_mod.cached_run(
+                "pr_web", "base",
+                params=SimulationParams(accesses_per_core=120, seed=9),
+            )
+            doc = handle.client.submit(
+                jobs=_specs(("pr_web", "base")), client="pushy"
+            )
+            assert doc["status"] == "completed"
+            assert doc["cached"] == 1
+        finally:
+            handle.drain()
+
+
+class TestDrainAndResume:
+    def test_drain_checkpoints_and_restart_resumes_bit_identically(
+        self, isolated_cache, tmp_path
+    ):
+        checkpoint = tmp_path / "drain_ckpt.json"
+        jobs = _specs(
+            ("bc_web", "base"), ("bc_web", "dice"),
+            ("cc_twi", "base"), ("cc_twi", "dice"),
+            ("mix2", "base"), ("mix2", "dice"),
+            accesses=900,
+        )
+        first = DaemonHandle(
+            ServiceConfig(
+                port=0, workers=1, grace=0.5, checkpoint=checkpoint
+            )
+        ).start()
+        submitted = first.client.submit(jobs=jobs, client="drainee")
+        campaign_id = str(submitted["id"])
+        first.client.drain()  # POST /drain — the SIGTERM path's twin
+        first._thread.join(30)
+        assert not first._thread.is_alive()
+        assert first.service.campaigns[campaign_id].status in (
+            "drained",
+            "completed",  # a very fast machine may have finished them all
+        )
+        if first.service.campaigns[campaign_id].status == "completed":
+            pytest.skip("campaign finished inside the grace window")
+        assert checkpoint.is_file()
+
+        # a fresh daemon resumes the checkpointed campaign by itself
+        second = DaemonHandle(
+            ServiceConfig(
+                port=0, workers=2, grace=5.0, checkpoint=checkpoint
+            )
+        ).start()
+        try:
+            assert (
+                second.counters()["service.campaigns.resumed"] == 1
+            )
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                doc = second.client.campaign(campaign_id)
+                if doc["status"] == "completed":
+                    break
+                time.sleep(0.2)
+            assert doc["status"] == "completed"
+            resumed = second.client.results(campaign_id)
+            assert len(resumed["results"]) == 6
+            assert all(v is not None for v in resumed["results"].values())
+
+            # bit-identical: a direct simulation of one job matches, and a
+            # warm resubmission of the full set returns the same payloads
+            params = SimulationParams(accesses_per_core=900, seed=9)
+            direct = run_workload(
+                "mix2", runner_mod.resolve_config("dice"), params
+            )
+            match = [
+                payload
+                for payload in resumed["results"].values()
+                if payload["manifest"]["workload"] == "mix2"
+                and payload["manifest"]["config"] == "dice"
+            ]
+            assert len(match) == 1
+            assert runner_mod._result_from_dict(match[0]) == direct
+            warm = second.client.run_campaign(jobs=jobs, client="verifier")
+            assert warm["results"] == resumed["results"]
+            # resumed jobs that finished pre-drain came from cache, so the
+            # two daemons together simulated each job exactly once
+            executed_first = first.service.registry.to_dict()["counters"][
+                "service.jobs.executed"
+            ]
+            executed_second = second.counters()["service.jobs.executed"]
+            assert executed_first + executed_second == 6
+        finally:
+            second.drain()
+        # a cleanly finished daemon leaves no checkpoint to resume
+        assert not checkpoint.exists()

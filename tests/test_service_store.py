@@ -1,0 +1,134 @@
+"""Content-store tests: addressing, verification, and promotion locking."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.service.store import (
+    ContentStore,
+    PromotionLock,
+    canonical_payload,
+    content_digest,
+)
+
+PAYLOAD = {"cycles": 123, "energy_nj": 4.5, "manifest": {"elapsed_s": 0.1}}
+
+
+class TestAddressing:
+    def test_digest_is_order_insensitive(self):
+        a = {"x": 1, "y": [1, 2]}
+        b = {"y": [1, 2], "x": 1}
+        assert content_digest(a) == content_digest(b)
+
+    def test_object_file_is_named_by_its_own_hash(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        digest = store.put("k1", PAYLOAD)
+        obj = store.object_path(digest)
+        assert obj.is_file()
+        assert hashlib.sha256(obj.read_bytes()).hexdigest() == digest
+
+    def test_identical_content_under_two_keys_shares_one_object(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        d1 = store.put("k1", PAYLOAD)
+        d2 = store.put("k2", dict(PAYLOAD))
+        assert d1 == d2
+        assert store.stats()["objects"] == 1
+        assert store.stats()["refs"] == 2
+
+    def test_roundtrip(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        store.put("k1", PAYLOAD)
+        assert store.get("k1") == json.loads(canonical_payload(PAYLOAD))
+        assert store.get("nope") is None
+        assert store.has("k1") and not store.has("nope")
+
+
+class TestVerification:
+    def test_corrupt_object_is_quarantined_and_reads_as_miss(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        digest = store.put("k1", PAYLOAD)
+        obj = store.object_path(digest)
+        obj.write_bytes(b'{"cycles": 999, "tampered": true}')
+        assert store.get("k1") is None
+        assert not obj.exists()  # moved aside, never served
+        assert store.stats()["quarantined"] == 1
+
+    def test_torn_ref_is_quarantined_and_reads_as_miss(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        store.put("k1", PAYLOAD)
+        ref = store.ref_path("k1")
+        ref.write_bytes(b"\xff\xfe not json")
+        assert store.get("k1") is None
+        assert not ref.exists()
+
+    def test_ref_key_mismatch_reads_as_miss(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        store.put("k1", PAYLOAD)
+        # a ref transplanted under the wrong name must not be trusted
+        store.ref_path("k2").parent.mkdir(parents=True, exist_ok=True)
+        os.replace(store.ref_path("k1"), store.ref_path("k2"))
+        assert store.get("k2") is None
+
+
+class TestPromotion:
+    def test_promote_installs_missing_entries_only(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        store.put("k1", PAYLOAD)
+        n = store.promote({"k1": PAYLOAD, "k2": {"other": 1}, "k3": None})
+        assert n == 1  # k1 already ref'd, k3 has no payload
+        assert store.has("k2")
+
+    def test_promotion_lock_is_single_writer(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        lock = store.lock()
+        assert lock.acquire()  # we are a live holder
+        try:
+            assert store.promote({"k1": PAYLOAD}) == -1
+            assert not store.has("k1")
+        finally:
+            lock.release()
+        assert store.promote({"k1": PAYLOAD}) == 1
+
+    def test_dead_holders_lock_is_stolen(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        lock_path = tmp_path / "cas" / "promote.lock"
+        lock_path.parent.mkdir(parents=True)
+        lock_path.write_text("999999999")  # no such pid
+        assert store.promote({"k1": PAYLOAD}) == 1
+        assert not lock_path.exists()
+
+    def test_unreadable_lock_is_stolen(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        lock_path = tmp_path / "cas" / "promote.lock"
+        lock_path.parent.mkdir(parents=True)
+        lock_path.write_text("")  # crashed before stamping a pid
+        lock = PromotionLock(lock_path)
+        assert lock.acquire()
+        lock.release()
+
+    def test_release_is_idempotent_and_scoped(self, tmp_path):
+        lock_path = tmp_path / "promote.lock"
+        lock = PromotionLock(lock_path)
+        assert lock.acquire()
+        lock.release()
+        lock.release()  # second release: no error, nothing to remove
+        assert not lock_path.exists()
+
+
+class TestStats:
+    def test_stats_shape(self, tmp_path):
+        store = ContentStore(tmp_path / "cas")
+        assert store.stats() == {
+            "root": str(tmp_path / "cas"),
+            "objects": 0,
+            "refs": 0,
+            "bytes": 0,
+            "quarantined": 0,
+        }
+        store.put("k1", PAYLOAD)
+        stats = store.stats()
+        assert stats["objects"] == 1
+        assert stats["refs"] == 1
+        assert stats["bytes"] > 0
