@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check chaos serve service-smoke bench bench-parallel bench-core bench-gate report flight examples clean
+.PHONY: install test check chaos serve service-smoke top slo-check bench bench-parallel bench-core bench-gate report flight examples clean
 
 install:
 	python setup.py develop
@@ -25,9 +25,18 @@ serve:
 	PYTHONPATH=src python -m repro.harness.cli serve --port 7414
 
 # Daemon lifecycle smoke: cold campaign, 100%-cache-hit warm resubmission,
-# healthz/metrics, SIGTERM drain to a checkpoint, bit-identical resume.
+# healthz/metrics, SIGTERM drain to a checkpoint, bit-identical resume,
+# cross-process trace stitching + SLO verdicts.
 service-smoke:
 	PYTHONPATH=src REPRO_ACCESSES=300 python scripts/service_smoke.py
+
+# Live dashboard for a `make serve` daemon on the default port.
+top:
+	PYTHONPATH=src python -m repro.harness.cli top
+
+# Judge the daemon's service-level objectives; exit 6 when one is failing.
+slo-check:
+	PYTHONPATH=src python -m repro.harness.cli slo check
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q -s

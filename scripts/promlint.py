@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition output (``GET /metrics``).
+
+Stdlib-only linter for the format the daemon renders: line grammar,
+``# TYPE`` declarations preceding their samples, valid metric/label
+name charsets, label-value escaping, finite non-negative counters, and
+no duplicate (name, labelset) sample.  Given two scrapes of the same
+daemon (older first), also checks that every ``_total`` counter is
+monotonically non-decreasing between them.
+
+Usage::
+
+    python scripts/promlint.py metrics.txt
+    python scripts/promlint.py before.txt after.txt   # + monotonicity
+    curl -s -H 'Accept: text/plain' :7414/metrics | python scripts/promlint.py -
+
+Importable: ``lint(text) -> List[str]`` returns the problems (empty =
+clean); ``parse_samples(text)`` returns ``{(name, labels): value}``.
+The CI service-smoke job runs this over a live scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+# one label pair inside {...}: name="value" with \\, \" and \n escapes
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+    r'"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_labels(raw: str) -> Optional[List[Tuple[str, str]]]:
+    """The label pairs of ``{...}`` content, or None when malformed."""
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR.match(raw, pos)
+        if match is None:
+            return None
+        pairs.append((match.group("name"), match.group("value")))
+        pos = match.end()
+    return pairs
+
+
+def _base_family(name: str) -> str:
+    """The family a sample belongs to (strips summary/histogram suffixes)."""
+    for suffix in ("_count", "_sum", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text: str) -> List[str]:
+    """Every problem in one exposition document, as human-readable lines."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    seen: set = set()
+    sampled_families: set = set()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE"):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, name, kind = parts
+            if not METRIC_NAME.match(name):
+                problems.append(
+                    f"line {lineno}: invalid metric name in TYPE: {name!r}"
+                )
+            if kind not in VALID_TYPES:
+                problems.append(
+                    f"line {lineno}: invalid metric type {kind!r} for {name}"
+                )
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            if name in sampled_families:
+                problems.append(
+                    f"line {lineno}: TYPE for {name} after its samples"
+                )
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment: free-form
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        family = _base_family(name)
+        sampled_families.add(family)
+        if family not in types and name not in types:
+            problems.append(
+                f"line {lineno}: sample {name} has no preceding TYPE"
+            )
+
+        labels_raw = match.group("labels")
+        label_key: Tuple = ()
+        if labels_raw is not None:
+            pairs = _parse_labels(labels_raw)
+            if pairs is None:
+                problems.append(
+                    f"line {lineno}: malformed labels: {{{labels_raw}}}"
+                )
+                continue
+            names = [pair[0] for pair in pairs]
+            for label in names:
+                if not LABEL_NAME.match(label):
+                    problems.append(
+                        f"line {lineno}: invalid label name {label!r}"
+                    )
+            if len(set(names)) != len(names):
+                problems.append(
+                    f"line {lineno}: repeated label name in {name}"
+                )
+            for label, value in pairs:
+                bad = re.search(r'(?<!\\)(?:\\\\)*[\n"]', value)
+                if bad is not None:
+                    problems.append(
+                        f"line {lineno}: unescaped character in label "
+                        f"{label}={value!r}"
+                    )
+            label_key = tuple(sorted(pairs))
+
+        sample_id = (name, label_key)
+        if sample_id in seen:
+            problems.append(
+                f"line {lineno}: duplicate sample {name}{{{labels_raw or ''}}}"
+            )
+        seen.add(sample_id)
+
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value {raw_value!r} for {name}"
+            )
+            continue
+        kind = types.get(family) or types.get(name)
+        if kind == "counter":
+            if math.isnan(value) or math.isinf(value) or value < 0:
+                problems.append(
+                    f"line {lineno}: counter {name} must be finite and "
+                    f">= 0, got {raw_value}"
+                )
+            if not (name.endswith("_total") or name != family):
+                problems.append(
+                    f"line {lineno}: counter {name} should end in _total"
+                )
+    return problems
+
+
+def parse_samples(text: str) -> Dict[Tuple[str, Tuple], float]:
+    """``{(name, sorted-labels): value}`` for every sample line."""
+    samples: Dict[Tuple[str, Tuple], float] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        labels_raw = match.group("labels")
+        pairs = _parse_labels(labels_raw) if labels_raw is not None else []
+        if pairs is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        samples[(match.group("name"), tuple(sorted(pairs)))] = value
+    return samples
+
+
+def check_monotonic(before: str, after: str) -> List[str]:
+    """Counters present in both scrapes must not decrease."""
+    problems: List[str] = []
+    earlier = parse_samples(before)
+    later = parse_samples(after)
+    for key, old in sorted(earlier.items()):
+        name, labels = key
+        if not name.endswith("_total"):
+            continue
+        new = later.get(key)
+        if new is not None and new < old:
+            shown = ",".join(f'{k}="{v}"' for k, v in labels)
+            problems.append(
+                f"counter {name}{{{shown}}} went backwards: {old} -> {new}"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv or len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    def read(path: str) -> str:
+        if path == "-":
+            return sys.stdin.read()
+        with open(path) as handle:
+            return handle.read()
+
+    try:
+        texts = [read(path) for path in argv]
+    except OSError as exc:
+        print(f"promlint: cannot read input: {exc}", file=sys.stderr)
+        return 2
+
+    problems: List[str] = []
+    for path, text in zip(argv, texts):
+        for problem in lint(text):
+            problems.append(f"{path}: {problem}")
+    if len(texts) == 2:
+        problems.extend(check_monotonic(texts[0], texts[1]))
+
+    for problem in problems:
+        print(f"promlint: {problem}", file=sys.stderr)
+    if problems:
+        print(f"promlint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    samples = sum(len(parse_samples(text)) for text in texts)
+    print(f"promlint: OK ({samples} samples across {len(texts)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,15 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.harness import runner as runner_mod
 from repro.sim.engine import SimulationParams
 from repro.sim.metrics import SimResult
+
+if TYPE_CHECKING:  # import at runtime would close an import cycle:
+    # repro.obs initializes via repro.sim, which this module precedes
+    from repro.obs.telemetry import TraceContext
 
 
 @dataclass(frozen=True)
@@ -30,6 +34,13 @@ class Job:
     # runner module is never touched during the runner <-> exec import cycle
     scale: int = field(default_factory=lambda: runner_mod.DEFAULT_SCALE)
     params: SimulationParams = field(default_factory=SimulationParams)
+    # Distributed-trace coordinates, attached by the scheduler/daemon when
+    # tracing is on.  compare=False keeps identity (eq/hash), cache_key and
+    # job_id exactly what they were without a trace — telemetry must never
+    # change which results dedupe or where they land in the cache.
+    trace: Optional["TraceContext"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def cache_key(self) -> Tuple:

@@ -52,7 +52,9 @@ class ProgressSnapshot:
         return cls(**{k: v for k, v in payload.items() if k in known})
 
 
-def _fmt_eta(seconds: Optional[float]) -> str:
+def format_duration(seconds: Optional[float]) -> str:
+    """``h:mm:ss`` / ``m:ss`` (``--:--`` for unknown) — shared by the
+    progress line's ETA and the ``cli top`` uptime column."""
     if seconds is None:
         return "--:--"
     seconds = max(0, int(round(seconds)))
@@ -61,6 +63,10 @@ def _fmt_eta(seconds: Optional[float]) -> str:
     if hours:
         return f"{hours}:{minutes:02d}:{secs:02d}"
     return f"{minutes}:{secs:02d}"
+
+
+# historical private name, kept for in-tree callers
+_fmt_eta = format_duration
 
 
 def format_progress(snap: ProgressSnapshot) -> str:

@@ -32,6 +32,7 @@ monkeypatched test state; ``spawn`` is the fallback elsewhere.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
@@ -42,6 +43,7 @@ from typing import Callable, List, Optional, Sequence
 from pathlib import Path
 
 from repro import obs
+from repro.obs import telemetry
 from repro.chaos import class_counts
 from repro.chaos import controller as chaos_controller
 from repro.chaos.policy import ChaosPolicy
@@ -94,8 +96,16 @@ class JobOutcome:
 
 
 def _execute_job(job: Job) -> SimResult:
-    """Run one job through the shared result cache (persists its entry)."""
-    return job.execute()
+    """Run one job through the shared result cache (persists its entry).
+
+    A job carrying a :class:`~repro.obs.telemetry.TraceContext` runs
+    with it as the ambient context, so the worker's sim tracer stamps
+    its place in the distributed trace into the trace-file meta.
+    """
+    if job.trace is None:
+        return job.execute()
+    with telemetry.activate(job.trace):
+        return job.execute()
 
 
 def _run_config_item(item) -> SimResult:
@@ -300,14 +310,26 @@ def run_jobs(
         tracer=_exec_tracer(),
     )
     if tracker.tracer.enabled:
+        # Join (or mint) a distributed trace: campaigns submitted through
+        # the service arrive with an ambient context; standalone traced
+        # campaigns become their own root.  Pending jobs each get a child
+        # context — attached *after* identity-based dedupe/cache peeking,
+        # and compare=False, so telemetry never changes what runs.
+        root = telemetry.current() or telemetry.TraceContext.new()
+        tracker.tracer.meta.update(root.to_meta())
+        for i in pending:
+            jobs[i] = dataclasses.replace(jobs[i], trace=root.child())
         for i, job in enumerate(jobs):
             if outcomes[i] is not None:
                 tracker.tracer.instant(
-                    "job.cached", "exec", 0, job=job.describe()
+                    "job.cached", "exec", 0, job=job.describe(),
+                    trace_id=root.trace_id,
                 )
             else:
                 tracker.tracer.instant(
-                    "job.queued", "exec", 0, job=job.describe()
+                    "job.queued", "exec", 0, job=job.describe(),
+                    trace_id=root.trace_id, span_id=job.trace.span_id,
+                    parent_id=job.trace.parent_id,
                 )
     workers = min(resolve_jobs(max_workers), max(1, len(pending)))
 
@@ -365,7 +387,10 @@ def _exec_tracer():
     base = Path(trace_path)
     suffix = base.suffix if base.suffix else ".jsonl"
     path = base.with_name(f"{base.stem}.exec{suffix}")
-    return obs.Tracer(path, every=every, meta={"scope": "exec"})
+    return obs.Tracer(
+        path, every=every, meta={"scope": "exec"},
+        max_bytes=obs.trace_max_bytes(),
+    )
 
 
 def _record(outcomes, i, job, result, error, source=None, attempts=1) -> JobOutcome:

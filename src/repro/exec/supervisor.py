@@ -48,6 +48,7 @@ from repro.chaos import controller as chaos_controller
 from repro.chaos.policy import ChaosPolicy
 from repro.exec.job import Job
 from repro.harness import runner as runner_mod
+from repro.obs import telemetry
 from repro.sim.metrics import SimResult
 
 
@@ -236,7 +237,10 @@ def _supervised_execute(
             {"job_id": job.job_id, "attempt": attempt, "pid": os.getpid()},
         )
     with chaos_controller.job_site(job.job_id, attempt):
-        result = job.execute()
+        # restore the job's distributed-trace coordinates as this
+        # worker's ambient context (no-op for an untraced job)
+        with telemetry.activate(job.trace):
+            result = job.execute()
     problem = validate_result(result)
     if problem is not None:
         # The poisoned value reached the cache inside job.execute();

@@ -10,10 +10,13 @@ Usage::
     python -m repro.harness.cli fig10 --trace /tmp/dice-trace.jsonl
     python -m repro.harness.cli fig10 --profile /tmp/dice.prof.json
     python -m repro.harness.cli trace summarize /tmp/dice-trace.jsonl
+    python -m repro.harness.cli trace stitch client.jsonl trace.daemon.jsonl trace.w*.jsonl
     python -m repro.harness.cli manifest show mcf dice
     python -m repro.harness.cli report --flight --check
-    python -m repro.harness.cli serve --port 7414 --jobs 4
-    python -m repro.harness.cli submit fig13 --port 7414
+    python -m repro.harness.cli serve --port 7414 --jobs 4 --trace /tmp/svc.jsonl
+    python -m repro.harness.cli submit fig13 --port 7414 --trace /tmp/client.jsonl
+    python -m repro.harness.cli top --port 7414 --once
+    python -m repro.harness.cli slo check --port 7414
     python -m repro.harness.cli cache-info
 
 Results are cached on disk, so regenerating a second figure that shares
@@ -37,12 +40,20 @@ daemon (one worker pool, one shared cache, many clients); ``cli submit``
 sends a campaign to a running daemon and streams its NDJSON progress;
 ``cli cache-info`` prints result-cache and content-store statistics.
 
+The telemetry plane rides on the same commands: ``submit --trace`` mints
+a trace context that the daemon and its workers join, ``trace stitch``
+merges their per-process JSONL files into one chrome://tracing document,
+``cli top`` is a live dashboard over the daemon's ``/healthz`` +
+``/metrics``, and ``cli slo check`` judges the daemon's service-level
+objectives (exit 6 when one is failing or burning its budget).
+
 Exit codes: 0 success, 2 usage error (unknown experiment/flag), 3 a
 simulation failed after all retries (remaining jobs are still drained
 and cached, so a re-run only repeats the failures), 4 the fidelity
 scoreboard drifted out of its tolerance band (``report --flight
 --check``), 5 the campaign was interrupted (SIGTERM/SIGINT) and stopped
-gracefully at a resumable checkpoint.
+gracefully at a resumable checkpoint, 6 an SLO check failed (``slo
+check``).
 """
 
 from __future__ import annotations
@@ -70,6 +81,7 @@ EXIT_USAGE = 2
 EXIT_SIM_FAILURE = 3
 EXIT_DRIFT = 4
 EXIT_INTERRUPTED = 5
+EXIT_SLO = 6
 
 
 def run_one(key: str, params: SimulationParams) -> None:
@@ -338,26 +350,95 @@ def _chaos_command(argv: List[str]) -> int:
 
 
 def _trace_command(argv: List[str]) -> int:
-    """``repro trace summarize PATH`` — aggregate a recorded event trace."""
+    """``repro trace summarize PATH`` / ``repro trace stitch PATHS...``.
+
+    ``summarize`` aggregates one recorded event trace (reading a rotated
+    ``path``/``path.1``/... set as a whole); ``stitch`` merges the
+    per-process files of one distributed campaign — client, daemon, and
+    worker JSONL — into a single chrome://tracing document keyed on
+    their shared trace id.
+    """
+    import json
+    from pathlib import Path
+
     import repro.obs as obs
 
     parser = argparse.ArgumentParser(prog="repro.harness.cli trace")
-    parser.add_argument("action", choices=["summarize"])
-    parser.add_argument("path", help="JSONL trace written by --trace")
+    parser.add_argument("action", choices=["summarize", "stitch"])
+    parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="JSONL trace file(s) written by --trace",
+    )
+    parser.add_argument(
+        "--trace-id", default=None,
+        help="stitch: target trace id (default: the most common one "
+        "across the inputs)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="stitch: where to write the merged chrome trace "
+        "(default: <first input>.stitched.json)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="stitch: print the machine-readable span/file table on stdout",
+    )
     args = parser.parse_args(argv)
+
+    if args.action == "summarize":
+        if len(args.paths) != 1:
+            parser.error("summarize takes exactly one PATH")
+        try:
+            summary = obs.summarize_trace(args.paths[0])
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read trace: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if summary["events"] == 0:
+            print(
+                f"error: {args.paths[0]} holds no trace events (empty or "
+                f"meta-only file — did the traced run execute?)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        print(obs.format_summary(summary))
+        return EXIT_OK
+
     try:
-        summary = obs.summarize_trace(args.path)
+        stitched = obs.stitch_traces(args.paths, trace_id=args.trace_id)
     except (OSError, ValueError) as exc:
-        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        print(f"error: cannot stitch traces: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    if summary["events"] == 0:
+    if stitched["events"] == 0:
+        wanted = f" for trace {args.trace_id}" if args.trace_id else ""
         print(
-            f"error: {args.path} holds no trace events (empty or "
-            f"meta-only file — did the traced run execute?)",
+            f"error: no events{wanted} across {len(args.paths)} file(s) — "
+            f"were the daemon and workers run with tracing on?",
             file=sys.stderr,
         )
         return EXIT_USAGE
-    print(obs.format_summary(summary))
+    out = Path(args.out or f"{args.paths[0]}.stitched.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(stitched["chrome"], sort_keys=True))
+    table = {
+        "trace_id": stitched["trace_id"],
+        "events": stitched["events"],
+        "files": stitched["files"],
+        "out": str(out),
+    }
+    if args.json:
+        print(json.dumps(table, sort_keys=True, indent=2))
+    else:
+        print(
+            f"trace {stitched['trace_id']}: {stitched['events']} events "
+            f"from {len(stitched['files'])} file(s) → {out}"
+        )
+        for record in stitched["files"]:
+            root = record.get("root_span") or "-"
+            print(
+                f"  pid {record['pid']:<7} {record['scope']:<10} "
+                f"{record['events']:>5} events · root span {root} "
+                f"({Path(record['path']).name})"
+            )
     return EXIT_OK
 
 
@@ -468,6 +549,13 @@ def _report_command(argv: List[str]) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH")
     parser.add_argument("--metrics", default=None, metavar="PATH")
     parser.add_argument("--profile", default=None, metavar="PATH")
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="a `cli slo check --json` (or `GET /slo`) verdict document "
+        "to include in the report's SLO section",
+    )
     parser.add_argument("--top", type=int, default=10)
     parser.add_argument("--accesses", type=int, default=None)
     parser.add_argument("--seed", type=int, default=7)
@@ -541,7 +629,10 @@ def _report_command(argv: List[str]) -> int:
     metrics = _load(
         args.metrics, lambda p: json.loads(Path(p).read_text()), "metrics"
     )
-    for loaded in (profile, trace_summary, metrics):
+    slo = _load(
+        args.slo, lambda p: json.loads(Path(p).read_text()), "slo verdicts"
+    )
+    for loaded in (profile, trace_summary, metrics, slo):
         if isinstance(loaded, Exception):
             return EXIT_USAGE
 
@@ -554,6 +645,7 @@ def _report_command(argv: List[str]) -> int:
         profile=profile,
         metrics=metrics,
         trace_summary=trace_summary,
+        slo=slo,
         top=args.top,
     )
     fmt = args.format or (
@@ -581,8 +673,10 @@ def _serve_command(argv: List[str]) -> int:
     checkpoint, and a restart resumes them bit-identically from cache.
     """
     import asyncio
+    import os
     from pathlib import Path
 
+    from repro.obs import slo as slo_mod
     from repro.service import DEFAULT_CHECKPOINT, ServiceConfig, run_service
 
     parser = argparse.ArgumentParser(
@@ -629,11 +723,45 @@ def _serve_command(argv: List[str]) -> int:
         action="store_true",
         help="skip promoting the shard cache into the content store",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace the daemon (<stem>.daemon.jsonl) and every worker "
+        "simulation (exported so pool workers inherit it); stitch the "
+        "set with `cli trace stitch`",
+    )
+    parser.add_argument("--trace-every", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="add a service-level objective (e.g. "
+        "'p99_submit: p99(service.submit.wall_us{kind=warm}) <= 500000 "
+        "budget=0.1'); repeatable, on top of the built-in set",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.max_queue < 0:
         parser.error("--max-queue must be >= 0")
+    if args.trace_every is not None and args.trace_every < 1:
+        parser.error("--trace-every must be >= 1")
+    if args.slo:
+        try:
+            slo_mod.parse_slos(args.slo)
+        except slo_mod.SLOParseError as exc:
+            parser.error(f"bad --slo spec: {exc}")
+    if args.trace:
+        # Export through the environment (not just obs.configure) so the
+        # worker pool — fork or spawn — inherits the trace destination.
+        os.environ["REPRO_TRACE"] = args.trace
+        if args.trace_every is not None:
+            os.environ["REPRO_TRACE_EVERY"] = str(args.trace_every)
+        import repro.obs as obs
+
+        obs.configure(trace=args.trace, every=args.trace_every)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -643,6 +771,7 @@ def _serve_command(argv: List[str]) -> int:
         checkpoint=Path(args.checkpoint),
         resume=not args.no_resume,
         promote=not args.no_promote,
+        slos=args.slo,
     )
     try:
         return asyncio.run(run_service(config))
@@ -684,6 +813,14 @@ def _submit_command(argv: List[str]) -> int:
         action="store_true",
         help="print the final results document as JSON on stdout",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record this submission's client-side span to PATH and "
+        "propagate its trace context to the daemon (stitch the daemon "
+        "and worker files with `cli trace stitch`)",
+    )
     parser.add_argument("--timeout", type=float, default=600.0)
     args = parser.parse_args(argv)
     keys = [k for k in args.experiments.split(",") if k]
@@ -692,6 +829,12 @@ def _submit_command(argv: List[str]) -> int:
     unknown = [k for k in keys if k not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    ctx = None
+    if args.trace:
+        from repro.obs import telemetry
+
+        ctx = telemetry.TraceContext.new()
 
     client = ServiceClient(args.host, args.port, timeout=args.timeout)
 
@@ -708,6 +851,9 @@ def _submit_command(argv: List[str]) -> int:
         elif kind == "done":
             print(file=sys.stderr)
 
+    import time as time_mod
+
+    request_started = time_mod.monotonic()
     try:
         doc = client.run_campaign(
             experiments=keys,
@@ -717,6 +863,7 @@ def _submit_command(argv: List[str]) -> int:
             fault_rate=args.fault_rate,
             ecc=args.ecc,
             on_event=on_event,
+            trace=ctx,
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -733,6 +880,28 @@ def _submit_command(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+
+    if ctx is not None:
+        # One span covering the whole request: submit → stream → results.
+        # Its span_id is the daemon campaign span's parent, which is what
+        # makes `trace stitch` root the distributed trace at the client.
+        from repro.obs.tracer import Tracer
+
+        elapsed_us = int((time_mod.monotonic() - request_started) * 1e6)
+        tracer = Tracer(
+            args.trace, meta={"scope": "client", **ctx.to_meta()}
+        )
+        tracer.span(
+            "client.request", "client", ts=0, dur=max(1, elapsed_us),
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            campaign=str(doc.get("id")), experiments=",".join(keys),
+        )
+        tracer.close()
+        print(
+            f"trace: {ctx.trace_id} → {args.trace} (merge the daemon and "
+            f"worker files with `cli trace stitch`)",
+            file=sys.stderr,
+        )
 
     final = doc.get("final") or {}
     status = final.get("status") or doc.get("status")
@@ -752,6 +921,175 @@ def _submit_command(argv: List[str]) -> int:
     if status == "drained":
         return EXIT_INTERRUPTED
     return EXIT_OK if status == "completed" else EXIT_SIM_FAILURE
+
+
+def _top_command(argv: List[str]) -> int:
+    """``repro top`` — a live dashboard over a running daemon.
+
+    Polls ``/healthz``, ``/metrics``, and ``/metrics/history`` and
+    renders queue depth (with a history sparkline), per-client fairness,
+    worker utilization, cache/CAS hit rates, and every SLO's verdict.
+    ``--once`` prints a single frame (scriptable); otherwise the screen
+    refreshes every ``--interval`` seconds until Ctrl-C.
+    """
+    import time
+
+    from repro.obs.top import render_dashboard
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli top",
+        description="Live dashboard for a running `cli serve` daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7414)
+    parser.add_argument("--interval", type=float, default=2.0)
+    parser.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be positive")
+    client = ServiceClient(args.host, args.port, timeout=10.0)
+    iterations = 1 if args.once else args.iterations
+    frames = 0
+    try:
+        while True:
+            try:
+                health = client.healthz()
+                metrics = client.metrics()
+                history = client.history()
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+            except (ConnectionError, OSError) as exc:
+                print(
+                    f"error: cannot reach the daemon at "
+                    f"{args.host}:{args.port}: {exc} "
+                    f"(is `cli serve` running?)",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            frame = render_dashboard(health, metrics, history)
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            print(frame, flush=True)
+            frames += 1
+            if iterations and frames >= iterations:
+                return EXIT_OK
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return EXIT_OK
+
+
+def _slo_command(argv: List[str]) -> int:
+    """``repro slo check`` — judge service-level objectives.
+
+    Live mode (default) evaluates the built-in service SLOs — plus any
+    ``--slo`` extras — against a running daemon's registry and history
+    ring.  ``--metrics FILE`` instead judges a ``--metrics`` JSON export
+    offline (``--slo`` is then required: a run export has no service
+    metrics for the built-ins to see).  Exit :data:`EXIT_SLO` when any
+    objective is failing or has burned through its error budget.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import slo as slo_mod
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli slo",
+        description="Check service-level objectives against a daemon "
+        "or an exported metrics file.",
+    )
+    parser.add_argument("action", choices=["check"])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7414)
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="judge this --metrics JSON export instead of a live daemon",
+    )
+    parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="add an objective, e.g. 'p99_submit: "
+        "p99(service.submit.wall_us{kind=warm}) <= 500000 budget=0.1'; "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the verdicts as JSON instead of the table",
+    )
+    args = parser.parse_args(argv)
+    try:
+        extra = slo_mod.parse_slos(args.slo or [])
+    except slo_mod.SLOParseError as exc:
+        parser.error(f"bad --slo spec: {exc}")
+
+    if args.metrics is not None:
+        if not extra:
+            parser.error("--metrics needs at least one --slo objective")
+        try:
+            payload = json.loads(Path(args.metrics).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read metrics: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if not isinstance(payload, dict):
+            print(
+                f"error: {args.metrics} is not a metrics export",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        history = payload.get("history")
+        samples = (
+            history.get("samples", []) if isinstance(history, dict) else []
+        )
+        specs = extra
+        # a finish_run export nests the registry under "metrics"; a raw
+        # registry dump is the payload itself
+        nested = payload.get("metrics")
+        metrics = nested if isinstance(nested, dict) else payload
+    else:
+        from repro.service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.host, args.port, timeout=10.0)
+        try:
+            health = client.healthz()
+            metrics = client.metrics()
+            samples = client.history().get("samples") or []
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except (ConnectionError, OSError) as exc:
+            print(
+                f"error: cannot reach the daemon at "
+                f"{args.host}:{args.port}: {exc} (is `cli serve` running?)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        specs = slo_mod.default_service_slos(
+            int(health.get("max_queue", 256) or 256)
+        ) + extra
+
+    statuses = slo_mod.evaluate(specs, metrics, samples)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": slo_mod.healthy(statuses),
+                    "results": [s.to_dict() for s in statuses],
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+    else:
+        print(slo_mod.format_statuses(statuses))
+    return EXIT_OK if slo_mod.healthy(statuses) else EXIT_SLO
 
 
 def _cache_info_command(argv: List[str]) -> int:
@@ -802,6 +1140,10 @@ def main(argv=None) -> int:
         return _serve_command(argv[1:])
     if argv and argv[0] == "submit":
         return _submit_command(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_command(argv[1:])
+    if argv and argv[0] == "slo":
+        return _slo_command(argv[1:])
     if argv and argv[0] == "cache-info":
         return _cache_info_command(argv[1:])
 

@@ -43,13 +43,29 @@ from repro.obs.prof import (
     read_profile,
     top_frames,
 )
-from repro.obs.registry import Counter, Gauge, MetricsRegistry, metric_key
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    metric_key,
+    parse_metric_key,
+)
+from repro.obs.telemetry import (
+    NULL_RECORDER,
+    NullRecorder,
+    TimeSeriesRecorder,
+    TraceContext,
+    render_prometheus,
+    stitch_traces,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     Tracer,
     format_summary,
     read_events,
+    read_rotated_events,
+    rotated_paths,
     summarize_trace,
 )
 
@@ -58,11 +74,15 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "NULL_PROFILER",
+    "NULL_RECORDER",
     "NULL_TRACER",
     "NullProfiler",
+    "NullRecorder",
     "NullTracer",
     "Profiler",
     "RunObservability",
+    "TimeSeriesRecorder",
+    "TraceContext",
     "Tracer",
     "begin_run",
     "build_manifest",
@@ -75,13 +95,20 @@ __all__ = [
     "instrument_method",
     "metric_key",
     "metrics_settings",
+    "parse_metric_key",
     "profile_settings",
     "read_events",
     "read_profile",
+    "read_rotated_events",
+    "render_prometheus",
     "reset_configuration",
+    "rotated_paths",
+    "stitch_traces",
     "summarize_trace",
     "top_frames",
+    "trace_max_bytes",
     "trace_settings",
+    "ts_settings",
 ]
 
 # ---------------------------------------------------------------------------
@@ -89,6 +116,7 @@ __all__ = [
 
 _explicit: Dict[str, Optional[object]] = {
     "trace": None, "every": None, "metrics": None, "profile": None,
+    "ts_every": None,
 }
 _run_seq = itertools.count()
 
@@ -98,10 +126,11 @@ def configure(
     every: Optional[int] = None,
     metrics: Optional[str] = None,
     profile: Optional[str] = None,
+    ts_every: Optional[int] = None,
 ) -> None:
     """Install explicit observability settings (the CLI's ``--trace`` /
-    ``--trace-every`` / ``--metrics`` / ``--profile`` flags); None leaves
-    a knob as-is."""
+    ``--trace-every`` / ``--metrics`` / ``--profile`` / ``--ts-every``
+    flags); None leaves a knob as-is."""
     if trace is not None:
         _explicit["trace"] = trace
     if every is not None:
@@ -110,12 +139,16 @@ def configure(
         _explicit["metrics"] = metrics
     if profile is not None:
         _explicit["profile"] = profile
+    if ts_every is not None:
+        _explicit["ts_every"] = int(ts_every)
 
 
 def reset_configuration() -> None:
     """Clear explicit settings and the output-path sequence (tests)."""
     global _run_seq
-    _explicit.update(trace=None, every=None, metrics=None, profile=None)
+    _explicit.update(
+        trace=None, every=None, metrics=None, profile=None, ts_every=None,
+    )
     _run_seq = itertools.count()
 
 
@@ -140,6 +173,37 @@ def metrics_settings() -> Optional[str]:
 def profile_settings() -> Optional[str]:
     """Explicit ``--profile`` path, else ``REPRO_PROF``, else None."""
     return _explicit["profile"] or os.environ.get("REPRO_PROF") or None
+
+
+def ts_settings() -> int:
+    """Time-series sampling cadence: a sample every N capacity windows.
+
+    Explicit ``--ts-every``, else ``REPRO_TS_EVERY``; 0 (the default)
+    disables the recorder entirely — runs then carry the shared
+    :data:`NULL_RECORDER` and pay nothing.
+    """
+    every = _explicit["ts_every"]
+    if every is None:
+        try:
+            every = int(os.environ.get("REPRO_TS_EVERY", "0"))
+        except ValueError:
+            every = 0
+    return max(0, every)
+
+
+def trace_max_bytes() -> Optional[int]:
+    """Trace-file size cap from ``REPRO_TRACE_MAX_MB`` (rotating mode),
+    or None for the default unbounded buffered mode."""
+    raw = os.environ.get("REPRO_TRACE_MAX_MB")
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    if mb <= 0:
+        return None
+    return max(1024, int(mb * 1024 * 1024))
 
 
 def _uniquify(path_str: str, n: int) -> Path:
@@ -177,6 +241,7 @@ class RunObservability:
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     metrics_path: Optional[Path] = None
     profiler: object = NULL_PROFILER
+    recorder: object = NULL_RECORDER
 
     @classmethod
     def disabled(cls) -> "RunObservability":
@@ -186,18 +251,35 @@ class RunObservability:
 def begin_run(label: str) -> RunObservability:
     """The observability bundle for one run about to start.
 
-    Returns a disabled bundle (null tracer/profiler, fresh registry, no
-    output paths) unless tracing, metrics export, or profiling is
-    configured.
+    Returns a disabled bundle (null tracer/profiler/recorder, fresh
+    registry, no output paths) unless tracing, metrics export, time-
+    series sampling, or profiling is configured.  When an ambient
+    :class:`~repro.obs.telemetry.TraceContext` is active (a pool worker
+    executing a traced service job), this run's place in the
+    distributed trace is stamped into the tracer's file meta so
+    ``cli trace stitch`` can parent the worker file correctly.
     """
+    from repro.obs import telemetry
+
     trace_path, every = trace_settings()
     metrics_path = metrics_settings()
     profile_path = profile_settings()
-    if trace_path is None and metrics_path is None and profile_path is None:
+    ts_every = ts_settings()
+    if (
+        trace_path is None and metrics_path is None
+        and profile_path is None and ts_every == 0
+    ):
         return RunObservability()
     n = next(_run_seq)
+    meta: Dict[str, object] = {"run": label}
+    ctx = telemetry.current()
+    if ctx is not None:
+        meta.update(ctx.child().to_meta())
     tracer = (
-        Tracer(_uniquify(trace_path, n), every=every, meta={"run": label})
+        Tracer(
+            _uniquify(trace_path, n), every=every, meta=meta,
+            max_bytes=trace_max_bytes(),
+        )
         if trace_path is not None
         else NULL_TRACER
     )
@@ -215,10 +297,13 @@ def begin_run(label: str) -> RunObservability:
         )
         out = base.with_name(name)
     else:
-        out = None  # profiling alone implies no metrics export
+        out = None  # profiling/sampling alone implies no metrics export
+    recorder = (
+        TimeSeriesRecorder(every=ts_every) if ts_every > 0 else NULL_RECORDER
+    )
     return RunObservability(
         tracer=tracer, metrics=MetricsRegistry(), metrics_path=out,
-        profiler=profiler,
+        profiler=profiler, recorder=recorder,
     )
 
 
@@ -231,6 +316,8 @@ def finish_run(
             "manifest": manifest,
             "metrics": obs.metrics.to_dict(),
         }
+        if obs.recorder.enabled:
+            payload["history"] = obs.recorder.to_dict()
         obs.metrics_path.parent.mkdir(parents=True, exist_ok=True)
         obs.metrics_path.write_text(json.dumps(payload, indent=1))
     obs.tracer.close()

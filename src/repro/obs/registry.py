@@ -91,6 +91,49 @@ def metric_key(name: str, labels: Dict[str, object]) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_metric_key(key: str) -> "tuple[str, Dict[str, str]]":
+    """Invert :func:`metric_key`: ``name{k=v,...}`` → (name, labels).
+
+    The Prometheus renderer needs the structured form back — label
+    values re-escape differently there.  Honors the backslash escapes
+    :func:`_escape_label` applied, so a label value containing ``,`` or
+    ``=`` round-trips exactly.  A key without a label block (or with a
+    malformed one) comes back as the whole key and no labels.
+    """
+    brace = key.find("{")
+    if brace < 0 or not key.endswith("}"):
+        return key, {}
+    name, inner = key[:brace], key[brace + 1:-1]
+    # tokenize once, remembering which characters were escaped
+    chars: list = []  # (char, was_escaped)
+    i = 0
+    while i < len(inner):
+        if inner[i] == "\\" and i + 1 < len(inner):
+            chars.append((inner[i + 1], True))
+            i += 2
+        else:
+            chars.append((inner[i], False))
+            i += 1
+    labels: Dict[str, str] = {}
+    pair: list = []
+    for char, escaped in chars + [(",", False)]:
+        if char == "," and not escaped:
+            if pair:
+                text = pair
+                for j, (c, esc) in enumerate(text):
+                    if c == "=" and not esc:
+                        labels["".join(c for c, _ in text[:j])] = "".join(
+                            c for c, _ in text[j + 1:]
+                        )
+                        break
+                else:
+                    return key, {}  # no unescaped '=': not our encoding
+            pair = []
+        else:
+            pair.append((char, escaped))
+    return name, labels
+
+
 class MetricsRegistry:
     """Get-or-create store of named instruments plus pull collectors."""
 
@@ -182,6 +225,28 @@ class MetricsRegistry:
             metric.reset()
 
     # -- export --------------------------------------------------------------
+
+    def sample(self, collect: bool = True) -> Dict[str, object]:
+        """A light point-in-time snapshot for the time-series recorder.
+
+        Counters and gauges by value; histograms as a quantile summary
+        (count/p50/p95/p99) rather than full bucket arrays, so a
+        512-deep ring of samples stays small.  Trackers are windowed
+        time series already and are skipped.
+        """
+        if collect:
+            self.collect()
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        quantiles: Dict[str, Dict[str, int]] = {}
+        for key, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                counters[key] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[key] = metric.value
+            elif isinstance(metric, LatencyHistogram) and metric.total:
+                quantiles[key] = {"count": metric.total, **metric.quantiles()}
+        return {"counters": counters, "gauges": gauges, "quantiles": quantiles}
 
     def to_dict(self, collect: bool = True) -> Dict[str, Dict[str, object]]:
         """The ``metrics.json`` payload, grouped by instrument kind."""

@@ -1,0 +1,323 @@
+"""Declarative SLOs evaluated against metrics + their time series.
+
+An SLO is one line of text (CLI ``--slo``, ``REPRO_SLO``, or the
+built-in defaults)::
+
+    <name>: <fn>(<metric-expr>) <=|>= <threshold> [budget=<frac>]
+
+where ``fn`` is one of ``p50 p95 p99 max min last sum ratio`` and a
+metric-expr is a label-qualified registry key (``metric_key`` form,
+e.g. ``service.submit.wall_us{kind=warm}``).  ``sum``/``ratio`` accept
+``+``-joined counter keys; ``ratio`` takes two comma-separated
+arguments (numerator, denominator).  Examples, which are also the
+default service SLOs::
+
+    warm_submit_p99_us: p99(service.submit.wall_us{kind=warm}) <= 500000 budget=0.1
+    queue_depth: max(service.queue.depth) <= 256 budget=0.25
+    dedupe_hit_rate: ratio(service.jobs.cached+service.jobs.deduped, service.jobs.total) >= 0.05
+    crash_budget: sum(service.supervisor.pool_rebuilds) <= 2
+
+Evaluation has two parts:
+
+* **current value** against the latest metrics payload (the registry's
+  ``to_dict()`` — so offline ``cli slo check --metrics file.json``
+  works on the same code path as the live daemon);
+* **burn rate** against the time-series history: the fraction of ring
+  samples violating the threshold, divided by the error ``budget``
+  (the tolerated violating fraction, default 1.0 — i.e. history is
+  advisory unless a spec opts into a budget).  Burn > 1.0 fails the
+  SLO even when the instantaneous value looks healthy.
+
+Specs whose metric has no data yet are *skipped* (``ok is None``), not
+failed — a fresh daemon must be healthy by default.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import LatencyHistogram
+
+_SPEC = re.compile(
+    r"^\s*(?P<name>[\w.-]+)\s*:\s*"
+    r"(?P<fn>p50|p95|p99|max|min|last|sum|ratio)\s*"
+    r"\((?P<args>[^)]*)\)\s*"
+    r"(?P<op><=|>=)\s*"
+    r"(?P<threshold>[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+    r"(?:\s+budget\s*=\s*(?P<budget>[0-9]*\.?[0-9]+))?\s*$"
+)
+
+_QUANTILE_FNS = {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+
+class SLOParseError(ValueError):
+    """A spec string that doesn't match the grammar."""
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One parsed objective."""
+
+    name: str
+    fn: str
+    metrics: tuple  # one expr, or (numerator, denominator) for ratio
+    op: str
+    threshold: float
+    budget: float = 1.0
+
+    def describe(self) -> str:
+        args = ", ".join(self.metrics)
+        text = f"{self.name}: {self.fn}({args}) {self.op} {self.threshold:g}"
+        if self.budget != 1.0:
+            text += f" budget={self.budget:g}"
+        return text
+
+
+@dataclass
+class SLOStatus:
+    """The verdict on one spec: instantaneous value + history burn."""
+
+    spec: SLOSpec
+    value: Optional[float] = None
+    ok: Optional[bool] = None  # None: no data yet — skipped, not failed
+    burn_rate: Optional[float] = None
+    window: int = 0
+    violations: int = 0
+
+    @property
+    def failed(self) -> bool:
+        if self.ok is False:
+            return True
+        return self.burn_rate is not None and self.burn_rate > 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "spec": self.spec.describe(),
+            "value": self.value,
+            "threshold": self.spec.threshold,
+            "op": self.spec.op,
+            "ok": self.ok,
+            "burn_rate": self.burn_rate,
+            "window": self.window,
+            "violations": self.violations,
+            "failed": self.failed,
+        }
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on top-level commas — label blocks contain commas too."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_slo(text: str) -> SLOSpec:
+    """Parse one spec line; raises :class:`SLOParseError` with the rule."""
+    match = _SPEC.match(text)
+    if not match:
+        raise SLOParseError(
+            f"bad SLO spec {text!r} — expected "
+            f"'<name>: <fn>(<metric>) <=|>= <threshold> [budget=<frac>]'"
+        )
+    fn = match.group("fn")
+    args = _split_args(match.group("args"))
+    if fn == "ratio":
+        if len(args) != 2:
+            raise SLOParseError(
+                f"bad SLO spec {text!r} — ratio() takes exactly "
+                f"(numerator, denominator), got {len(args)} args"
+            )
+    elif len(args) != 1:
+        raise SLOParseError(
+            f"bad SLO spec {text!r} — {fn}() takes exactly one metric"
+        )
+    budget = float(match.group("budget")) if match.group("budget") else 1.0
+    if not 0.0 < budget <= 1.0:
+        raise SLOParseError(
+            f"bad SLO spec {text!r} — budget must be in (0, 1]"
+        )
+    return SLOSpec(
+        name=match.group("name"),
+        fn=fn,
+        metrics=tuple(args),
+        op=match.group("op"),
+        threshold=float(match.group("threshold")),
+        budget=budget,
+    )
+
+
+def parse_slos(texts: Sequence[str]) -> List[SLOSpec]:
+    return [parse_slo(t) for t in texts]
+
+
+def default_service_slos(max_queue: int = 256) -> List[SLOSpec]:
+    """The built-in daemon objectives (see module docstring)."""
+    return parse_slos([
+        "warm_submit_p99_us: p99(service.submit.wall_us{kind=warm})"
+        " <= 500000 budget=0.1",
+        f"queue_depth: max(service.queue.depth) <= {max_queue} budget=0.25",
+        "dedupe_hit_rate: ratio(service.jobs.cached+service.jobs.deduped,"
+        " service.jobs.total) >= 0.05",
+        "crash_budget: sum(service.supervisor.pool_rebuilds) <= 2",
+    ])
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+
+
+def _counter_sum(counters: Dict[str, float], expr: str) -> float:
+    """Sum of ``+``-joined counter keys; a missing counter reads as 0."""
+    return float(sum(float(counters.get(k.strip(), 0)) for k in expr.split("+")))
+
+
+def _payload_value(
+    payload: Dict[str, object], spec: SLOSpec
+) -> Optional[float]:
+    """The spec's instantaneous value from one metrics payload
+    (``MetricsRegistry.to_dict()`` shape) — ``None`` means no data."""
+    counters = payload.get("counters", {}) or {}
+    gauges = payload.get("gauges", {}) or {}
+    histograms = payload.get("histograms", {}) or {}
+    expr = spec.metrics[0]
+    if spec.fn in _QUANTILE_FNS:
+        hist = histograms.get(expr)
+        if not hist or not hist.get("total"):
+            return None
+        try:
+            return float(
+                LatencyHistogram.from_dict(hist).percentile(_QUANTILE_FNS[spec.fn])
+            )
+        except (KeyError, ValueError, TypeError):
+            return None
+    if spec.fn == "ratio":
+        denom = _counter_sum(counters, spec.metrics[1])
+        if denom <= 0:
+            return None
+        return _counter_sum(counters, expr) / denom
+    if spec.fn == "sum":
+        return _counter_sum(counters, expr)
+    # max/min/last over a single gauge or counter's current value
+    if expr in gauges:
+        return float(gauges[expr])
+    if expr in counters:
+        return float(counters[expr])
+    return None
+
+
+def _sample_value(sample: Dict[str, object], spec: SLOSpec) -> Optional[float]:
+    """The spec's value at one ring-buffer sample (``registry.sample()``
+    shape: counters/gauges by value, histograms as quantile dicts)."""
+    counters = sample.get("counters", {}) or {}
+    gauges = sample.get("gauges", {}) or {}
+    quantiles = sample.get("quantiles", {}) or {}
+    expr = spec.metrics[0]
+    if spec.fn in _QUANTILE_FNS:
+        summary = quantiles.get(expr)
+        if not summary:
+            return None
+        value = summary.get(spec.fn)
+        return float(value) if value is not None else None
+    if spec.fn == "ratio":
+        denom = _counter_sum(counters, spec.metrics[1])
+        if denom <= 0:
+            return None
+        return _counter_sum(counters, expr) / denom
+    if spec.fn == "sum":
+        return _counter_sum(counters, expr)
+    if expr in gauges:
+        return float(gauges[expr])
+    if expr in counters:
+        return float(counters[expr])
+    return None
+
+
+def _meets(value: float, spec: SLOSpec) -> bool:
+    return value <= spec.threshold if spec.op == "<=" else value >= spec.threshold
+
+
+def evaluate(
+    specs: Sequence[SLOSpec],
+    metrics: Dict[str, object],
+    history: Optional[Sequence[Dict[str, object]]] = None,
+) -> List[SLOStatus]:
+    """Judge every spec against the metrics payload + optional history.
+
+    ``max``/``min`` range over the history when one exists (that is
+    their point); every fn falls back to the instantaneous value on an
+    empty ring so a daemon without time-series sampling still gets
+    current-value SLOs.
+    """
+    history = list(history or [])
+    statuses: List[SLOStatus] = []
+    for spec in specs:
+        status = SLOStatus(spec=spec)
+        series = [
+            v for v in (_sample_value(s, spec) for s in history)
+            if v is not None
+        ]
+        if spec.fn == "max" and series:
+            status.value = max(series)
+        elif spec.fn == "min" and series:
+            status.value = min(series)
+        else:
+            status.value = _payload_value(metrics, spec)
+            if status.value is None and series:
+                status.value = series[-1]
+        if status.value is not None:
+            status.ok = _meets(status.value, spec)
+        if series:
+            status.window = len(series)
+            status.violations = sum(1 for v in series if not _meets(v, spec))
+            status.burn_rate = (
+                status.violations / status.window
+            ) / spec.budget
+        statuses.append(status)
+    return statuses
+
+
+def healthy(statuses: Sequence[SLOStatus]) -> bool:
+    """True when no evaluated spec failed (skipped specs don't count)."""
+    return not any(s.failed for s in statuses)
+
+
+def format_statuses(statuses: Sequence[SLOStatus]) -> str:
+    """Fixed-width table for ``cli slo check`` / the flight recorder."""
+    lines = [
+        f"{'SLO':28s} {'value':>12s} {'target':>14s} "
+        f"{'burn':>6s} {'verdict':s}"
+    ]
+    for status in statuses:
+        spec = status.spec
+        value = "-" if status.value is None else f"{status.value:.6g}"
+        target = f"{spec.op} {spec.threshold:g}"
+        burn = "-" if status.burn_rate is None else f"{status.burn_rate:.2f}"
+        if status.ok is None:
+            verdict = "SKIP (no data)"
+        elif status.failed:
+            verdict = "FAIL"
+            if status.ok and status.burn_rate is not None:
+                verdict = f"FAIL (burn {status.burn_rate:.2f} > 1)"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{spec.name:28s} {value:>12s} {target:>14s} {burn:>6s} {verdict}"
+        )
+    return "\n".join(lines)

@@ -13,6 +13,8 @@ import http.client
 import json
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.telemetry import TraceContext
+
 
 class ServiceError(RuntimeError):
     """A non-2xx answer from the daemon, with its status and body."""
@@ -36,14 +38,18 @@ class ServiceClient:
     # -- plumbing ------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[object] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> object:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             payload = None
-            headers = {}
+            headers = dict(headers or {})
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -72,6 +78,31 @@ class ServiceClient:
     def metrics(self) -> Dict[str, object]:
         return self._request("GET", "/metrics")
 
+    def metrics_text(self) -> str:
+        """``GET /metrics`` in the Prometheus text exposition format."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics", headers={"Accept": "text/plain"})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, raw.decode("utf-8", "replace")
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def history(self) -> Dict[str, object]:
+        """``GET /metrics/history`` — the daemon's time-series ring."""
+        return self._request("GET", "/metrics/history")
+
+    def slo(self) -> Dict[str, object]:
+        """``GET /slo`` — every objective's verdict and burn rate."""
+        return self._request("GET", "/slo")
+
     def submit(
         self,
         *,
@@ -82,8 +113,14 @@ class ServiceClient:
         seed: Optional[int] = None,
         fault_rate: Optional[float] = None,
         ecc: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, object]:
-        """``POST /campaigns``; the acceptance doc (id, cached, queued...)."""
+        """``POST /campaigns``; the acceptance doc (id, cached, queued...).
+
+        ``trace`` (a client-minted :class:`TraceContext`) rides along as
+        ``X-Repro-Trace-Id``/``X-Repro-Parent-Span`` headers, making the
+        daemon's campaign span a child of the client's request span.
+        """
         body: Dict[str, object] = {"client": client}
         if experiments:
             body["experiments"] = list(experiments)
@@ -97,7 +134,10 @@ class ServiceClient:
             body["fault_rate"] = fault_rate
         if ecc is not None:
             body["ecc"] = ecc
-        return self._request("POST", "/campaigns", body)
+        return self._request(
+            "POST", "/campaigns", body,
+            headers=trace.to_headers() if trace is not None else None,
+        )
 
     def campaign(self, campaign_id: str) -> Dict[str, object]:
         return self._request("GET", f"/campaigns/{campaign_id}")

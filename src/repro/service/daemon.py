@@ -48,12 +48,15 @@ from repro.exec.job import Job
 from repro.exec.scheduler import _execute_job, _mp_context, resolve_jobs
 from repro.exec.supervisor import validate_result
 from repro.harness import runner as runner_mod
+from repro.obs import slo as slo_mod
+from repro.obs import telemetry
 from repro.service.http import (
     ChunkedNdjsonWriter,
     HttpError,
     Request,
     json_response,
     read_request,
+    text_response,
 )
 from repro.service.state import (
     CampaignState,
@@ -81,6 +84,8 @@ class ServiceConfig:
     checkpoint: Path = DEFAULT_CHECKPOINT
     resume: bool = True
     promote: bool = True  # promote the shard store into the content store
+    slos: Optional[List[str]] = None  # extra SLO specs beyond the defaults
+    history_capacity: int = 512  # time-series ring-buffer depth
 
 
 def _result_payload(result: SimResult) -> Dict[str, object]:
@@ -128,6 +133,44 @@ class SimService:
         self._g_inflight = self.registry.gauge("service.jobs.inflight")
         self._g_active = self.registry.gauge("service.campaigns.active")
         self._h_wall = self.registry.histogram("service.job.wall_ms")
+        # submit-handler latency in µs, split warm (all jobs answered at
+        # submission time) vs cold — the warm side is what the p99 SLO
+        # judges against ROADMAP's "cache-hit answers in microseconds"
+        self._h_submit_warm = self.registry.histogram(
+            "service.submit.wall_us", kind="warm"
+        )
+        self._h_submit_cold = self.registry.histogram(
+            "service.submit.wall_us", kind="cold"
+        )
+        # telemetry plane: time-series ring, SLOs, the daemon's own tracer
+        self.history = telemetry.TimeSeriesRecorder(
+            capacity=self.config.history_capacity
+        )
+        self.slos = slo_mod.default_service_slos(self.config.max_queue)
+        for text in self.config.slos or []:
+            self.slos.append(slo_mod.parse_slo(text))
+        self.tracer = self._daemon_tracer()
+
+    def _daemon_tracer(self):
+        """A long-lived tracer for daemon-side spans (campaign/queue/run),
+        written next to the configured trace path as ``<stem>.daemon.jsonl``
+        — or the shared null tracer when tracing is off.  Size-capped
+        rotation (``REPRO_TRACE_MAX_MB``) keeps a forever-running daemon
+        from filling the disk."""
+        trace_path, every = obs.trace_settings()
+        if trace_path is None:
+            return obs.NULL_TRACER
+        base = Path(trace_path)
+        suffix = base.suffix if base.suffix else ".jsonl"
+        path = base.with_name(f"{base.stem}.daemon{suffix}")
+        return obs.Tracer(
+            path, every=every, meta={"scope": "daemon"},
+            max_bytes=obs.trace_max_bytes(),
+        )
+
+    def _now_us(self) -> int:
+        """Microseconds since daemon start: the daemon trace timebase."""
+        return int((time.monotonic() - self._started) * 1e6)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -206,6 +249,7 @@ class SimService:
             self._pool.shutdown(wait=False, cancel_futures=True)
         if self._server is not None:
             await self._server.wait_closed()
+        self.tracer.close()
         self._stopped.set()
 
     async def _resume_checkpoint(self) -> None:
@@ -276,12 +320,17 @@ class SimService:
         experiments: Optional[List[str]] = None,
         campaign_id: Optional[str] = None,
         enforce_backpressure: bool = True,
+        parent: Optional[telemetry.TraceContext] = None,
     ) -> Tuple[CampaignState, Dict[str, int]]:
         """Admit one campaign: serve hits, subscribe overlaps, queue misses.
 
         Raises :class:`HttpError` 429 when the queued misses would not fit
         the bounded queue (checked before any state mutates, so a rejected
         submission leaves no trace).
+
+        ``parent`` is the submitting client's trace context (from the
+        ``X-Repro-Trace-Id`` headers); the campaign joins that trace, or
+        roots a fresh one when the daemon's own tracer is on.
         """
         jobs = list(dict.fromkeys(jobs))
         cached: Dict[str, SimResult] = {}
@@ -312,11 +361,27 @@ class SimService:
             jobs,
             experiments=experiments,
         )
+        # The campaign's place in the distributed trace: a child of the
+        # client's span when one arrived, else a fresh root (when the
+        # daemon traces at all — otherwise carry only what came in).
+        if parent is not None:
+            campaign.trace = parent.child()
+        elif self.tracer.enabled:
+            campaign.trace = telemetry.TraceContext.new()
+        campaign.submitted_us = self._now_us()
         self.campaigns[campaign.id] = campaign
         self._m_submitted.inc()
         self._m_jobs.inc(len(jobs))
         self._m_cached.inc(len(cached))
         self._m_deduped.inc(len(inflight))
+        if self.tracer.enabled and campaign.trace is not None:
+            self.tracer.instant(
+                "daemon.campaign.submitted", "daemon", campaign.submitted_us,
+                id=campaign.id, client=client, jobs=len(jobs),
+                trace_id=campaign.trace.trace_id,
+                span_id=campaign.trace.span_id,
+                parent_id=campaign.trace.parent_id,
+            )
         await campaign.emit(
             {
                 "event": "campaign",
@@ -337,7 +402,12 @@ class SimService:
         for job in inflight:
             self._runs[job.job_id].subscribers.append((campaign, job))
         for job in fresh:
+            if campaign.trace is not None:
+                # attached after dedupe/peek (trace is compare=False, so
+                # identity, cache key and queue membership are unchanged)
+                job = dataclasses.replace(job, trace=campaign.trace.child())
             run = _SharedRun(job)
+            run.enqueued_us = self._now_us()
             run.subscribers.append((campaign, job))
             self._runs[job.job_id] = run
             queue = self._queues.get(client)
@@ -363,6 +433,12 @@ class SimService:
         self._g_active.set(
             sum(1 for c in self.campaigns.values() if c.status == "running")
         )
+        # per-client depth (fairness visibility for `cli top`); client
+        # names are label values, so escaping is the registry's problem
+        for client, queue in self._queues.items():
+            self.registry.gauge(
+                "service.queue.depth", client=client
+            ).set(len(queue))
 
     def _next_job(self) -> Optional[Job]:
         """Round-robin over clients with pending work (fairness)."""
@@ -396,6 +472,22 @@ class SimService:
         error: Optional[str] = None
         result: Optional[SimResult] = None
         attempts = 0
+        run = self._runs.get(job.job_id)
+        if run is not None:
+            run.started_us = self._now_us()
+            if (
+                self.tracer.enabled and job.trace is not None
+                and run.enqueued_us is not None
+            ):
+                # queue-wait span: a sibling of the job's own run span
+                self.tracer.span(
+                    "daemon.queue", "daemon", run.enqueued_us,
+                    max(1, run.started_us - run.enqueued_us),
+                    job=job.describe(), job_id=job.job_id,
+                    trace_id=job.trace.trace_id,
+                    span_id=f"{job.trace.span_id}.q",
+                    parent_id=job.trace.parent_id,
+                )
         try:
             while attempts < MAX_JOB_ATTEMPTS:
                 attempts += 1
@@ -455,6 +547,18 @@ class SimService:
         run = self._runs.pop(job.job_id, None)
         payload: Optional[Dict[str, object]] = None
         wall_ms: Optional[float] = None
+        if self.tracer.enabled and job.trace is not None and run is not None:
+            started = run.started_us if run.started_us is not None else self._now_us()
+            self.tracer.span(
+                "daemon.run", "daemon", started,
+                max(1, self._now_us() - started),
+                job=job.describe(), job_id=job.job_id, error=error,
+                trace_id=job.trace.trace_id,
+                span_id=job.trace.span_id,
+                parent_id=job.trace.parent_id,
+            )
+            self.tracer.flush()
+        self.history.tick(self.registry)
         if result is not None and error is None:
             runner_mod.seed_cache(
                 job.workload, job.config_name, result,
@@ -521,6 +625,20 @@ class SimService:
             self.registry.counter("service.campaigns.failed").inc()
         else:
             self._m_completed.inc()
+        if (
+            self.tracer.enabled and campaign.trace is not None
+            and campaign.submitted_us is not None
+        ):
+            self.tracer.span(
+                "daemon.campaign", "daemon", campaign.submitted_us,
+                max(1, self._now_us() - campaign.submitted_us),
+                id=campaign.id, client=campaign.client,
+                status=campaign.status,
+                trace_id=campaign.trace.trace_id,
+                span_id=campaign.trace.span_id,
+                parent_id=campaign.trace.parent_id,
+            )
+            self.tracer.flush()
         self._publish_gauges()
         snapshot = campaign.snapshot()
         await campaign.emit(
@@ -595,7 +713,22 @@ class SimService:
         if method == "GET" and path == "/healthz":
             writer.write(json_response(200, self.healthz()))
         elif method == "GET" and path == "/metrics":
-            writer.write(json_response(200, self.registry.to_dict()))
+            # content negotiation: the pre-existing JSON payload stays the
+            # default (ServiceClient sends no Accept header); curl's */*
+            # and any text/plain / OpenMetrics ask get the exposition text
+            if telemetry.wants_prometheus(request.headers.get("accept", "")):
+                writer.write(
+                    text_response(
+                        200, telemetry.render_prometheus(self.registry),
+                        content_type="text/plain; version=0.0.4; charset=utf-8",
+                    )
+                )
+            else:
+                writer.write(json_response(200, self.registry.to_dict()))
+        elif method == "GET" and path == "/metrics/history":
+            writer.write(json_response(200, self.history.to_dict()))
+        elif method == "GET" and path == "/slo":
+            writer.write(json_response(200, self._slo_payload()))
         elif method == "POST" and path == "/campaigns":
             await self._handle_submit(request, writer)
         elif method == "POST" and path == "/drain":
@@ -631,6 +764,7 @@ class SimService:
     ) -> None:
         if self._draining:
             raise HttpError(503, "service is draining; resubmit after restart")
+        started = time.monotonic()
         payload = request.json()
         if not isinstance(payload, dict):
             raise HttpError(400, "submission must be a JSON object")
@@ -641,7 +775,16 @@ class SimService:
         campaign, breakdown = await self._register_campaign(
             jobs, client=client,
             experiments=[str(k) for k in payload.get("experiments") or []],
+            parent=telemetry.TraceContext.from_headers(request.headers),
         )
+        wall_us = int((time.monotonic() - started) * 1e6)
+        # warm = every job answered at submission time (cache/dedupe);
+        # cold = the pool got involved.  The warm p99 is an SLO input.
+        if breakdown["queued"] == 0:
+            self._h_submit_warm.record(wall_us)
+        else:
+            self._h_submit_cold.record(wall_us)
+        self.history.tick(self.registry)
         writer.write(
             json_response(
                 202,
@@ -649,6 +792,9 @@ class SimService:
                     "id": campaign.id,
                     "status": campaign.status,
                     "jobs": len(campaign.jobs),
+                    "trace_id": (
+                        campaign.trace.trace_id if campaign.trace else None
+                    ),
                     **breakdown,
                 },
             )
@@ -754,6 +900,16 @@ class SimService:
 
     # -- introspection -------------------------------------------------------
 
+    def _slo_payload(self) -> Dict[str, object]:
+        """Every SLO judged against the live registry + history ring."""
+        statuses = slo_mod.evaluate(
+            self.slos, self.registry.to_dict(), self.history.samples()
+        )
+        return {
+            "ok": slo_mod.healthy(statuses),
+            "results": [status.to_dict() for status in statuses],
+        }
+
     def healthz(self) -> Dict[str, object]:
         by_status: Dict[str, int] = {}
         for campaign in self.campaigns.values():
@@ -765,20 +921,29 @@ class SimService:
             "queue_depth": sum(len(q) for q in self._queues.values()),
             "inflight": len(self._runs),
             "max_queue": self.config.max_queue,
+            "clients": {
+                client: len(queue)
+                for client, queue in sorted(self._queues.items())
+            },
             "campaigns": by_status,
             "cache": runner_mod.cache_stats(),
             "content_store": self.store.stats(),
+            "slo": self._slo_payload(),
         }
 
 
 class _SharedRun:
     """One in-flight execution shared by every campaign that needs it."""
 
-    __slots__ = ("job", "subscribers")
+    __slots__ = ("job", "subscribers", "enqueued_us", "started_us")
 
     def __init__(self, job: Job) -> None:
         self.job = job
         self.subscribers: List[Tuple[CampaignState, Job]] = []
+        # daemon-trace timestamps (µs since daemon start) for the
+        # queue-wait and execution spans; None until reached
+        self.enqueued_us: Optional[int] = None
+        self.started_us: Optional[int] = None
 
 
 async def run_service(config: ServiceConfig, *, ready=None) -> int:

@@ -161,6 +161,20 @@ def json_response(
     return response_bytes(status, body, extra_headers=extra_headers)
 
 
+def text_response(
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """A plain-text response (the Prometheus exposition endpoint)."""
+    return response_bytes(
+        status, text.encode("utf-8"),
+        content_type=content_type, extra_headers=extra_headers,
+    )
+
+
 class ChunkedNdjsonWriter:
     """Stream NDJSON lines over chunked transfer encoding.
 

@@ -113,6 +113,12 @@ class CampaignState:
         self.results: Dict[str, object] = {}
         self.status = "running"  # running | completed | failed | drained
         self.events: List[Dict[str, object]] = []
+        # distributed-trace coordinates, set by the daemon at admission
+        # when the submission carried trace headers (or tracing is on);
+        # checkpoints persist job *specs* only, so a resumed campaign
+        # roots a fresh trace rather than forging the old one.
+        self.trace = None  # Optional[repro.obs.telemetry.TraceContext]
+        self.submitted_us: Optional[int] = None
         self._event_cond = asyncio.Condition()
         self._started = time.monotonic()
         self._wall_ms = LatencyHistogram()
@@ -194,6 +200,7 @@ class CampaignState:
             "failed": self.failed,
             "running": self.running,
             "cached": self.cached,
+            "trace_id": self.trace.trace_id if self.trace else None,
             "progress": self.snapshot().to_dict(),
         }
 

@@ -123,6 +123,10 @@ class ContentStore:
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.refs = self.root / "refs"
+        # per-process read accounting (``cli top`` renders the hit rate);
+        # never persisted — a restarted process starts its window fresh
+        self.get_hits = 0
+        self.get_misses = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -166,6 +170,14 @@ class ContentStore:
         (torn disk, bit rot) quarantines the object and reads as a miss
         — the shard store or a re-simulation backfills it.
         """
+        result = self._get(key)
+        if result is None:
+            self.get_misses += 1
+        else:
+            self.get_hits += 1
+        return result
+
+    def _get(self, key: str) -> Optional[object]:
         ref_path = self.ref_path(key)
         try:
             ref = json.loads(ref_path.read_text())
@@ -247,6 +259,8 @@ class ContentStore:
             "refs": refs,
             "bytes": nbytes,
             "quarantined": quarantined,
+            "get_hits": self.get_hits,
+            "get_misses": self.get_misses,
         }
 
     # -- internals -----------------------------------------------------------

@@ -103,6 +103,7 @@ def run_workload(
     run_obs = obs.begin_run(f"{workload}x{config.name}")
     tracer = run_obs.tracer
     prof = run_obs.profiler
+    recorder = run_obs.recorder
     started = time.perf_counter()
     if prof.enabled:
         prof.enter("sim")
@@ -194,6 +195,11 @@ def run_workload(
             if accesses_since_sample >= params.capacity_sample_every:
                 capacity_samples.append(system.l4.valid_line_count())
                 accesses_since_sample = 0
+                # Time-series sampling shares the capacity-sample cadence
+                # (simulated cycles as the timestamp): deterministic, no
+                # wall-clock reads, zero added per-access work when off.
+                if recorder.enabled:
+                    recorder.tick(system.metrics, ts=int(now))
 
         if warm_times[core] is None and served[core] >= warmups[core]:
             warm_times[core] = times[core]

@@ -235,6 +235,64 @@ class TestStreamingAndIntrospection:
         assert metrics["counters"]["service.campaigns.completed"] == 1
         assert "service.job.wall_ms" in metrics["histograms"]
 
+    def test_metrics_content_negotiation(self, daemon):
+        import os
+        import sys
+
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(__file__), "..", "scripts")
+        )
+        import promlint
+
+        daemon.client.run_campaign(
+            jobs=_specs(("mix1", "base")), client="prom"
+        )
+        # no Accept header (stdlib client): the JSON payload, unchanged
+        metrics = daemon.client.metrics()
+        assert "counters" in metrics
+        # Accept: text/plain → promlint-clean Prometheus exposition
+        text = daemon.client.metrics_text()
+        assert promlint.lint(text) == []
+        assert "# TYPE repro_service_jobs_total counter" in text
+
+    def test_metrics_history_ring(self, daemon):
+        daemon.client.run_campaign(
+            jobs=_specs(("mix1", "base")), client="hist"
+        )
+        history = daemon.client.history()
+        samples = history.get("samples", [])
+        assert samples, "submit/finalize events must tick the recorder"
+        assert "counters" in samples[-1]
+
+    def test_slo_endpoint_and_healthz_verdict(self, daemon):
+        daemon.client.run_campaign(
+            jobs=_specs(("mix1", "base")), client="slo"
+        )
+        # the dedupe-rate objective needs a cache hit to clear its floor
+        daemon.client.submit(jobs=_specs(("mix1", "base")), client="slo")
+        doc = daemon.client.slo()
+        names = {r["name"] for r in doc["results"]}
+        assert {"queue_depth", "crash_budget"} <= names
+        assert doc["ok"] is True
+        health = daemon.client.healthz()
+        assert health["slo"]["ok"] is True
+        assert "clients" in health
+
+    def test_trace_headers_parent_the_campaign_span(self, daemon):
+        from repro.obs.telemetry import TraceContext
+
+        ctx = TraceContext.new()
+        final = daemon.client.run_campaign(
+            jobs=_specs(("mix1", "base")), client="traced", trace=ctx
+        )
+        assert final["final"].get("status") == "completed"
+        campaign = daemon.service.campaigns[
+            str(final["submitted"]["id"])
+        ]
+        assert campaign.trace is not None
+        assert campaign.trace.trace_id == ctx.trace_id
+        assert campaign.trace.parent_id == ctx.span_id
+
     def test_unknown_routes_and_campaigns_are_404(self, daemon):
         with pytest.raises(ServiceError) as excinfo:
             daemon.client.campaign("c9999-nope")

@@ -126,6 +126,8 @@ class TestStats:
             "refs": 0,
             "bytes": 0,
             "quarantined": 0,
+            "get_hits": 0,
+            "get_misses": 0,
         }
         store.put("k1", PAYLOAD)
         stats = store.stats()
