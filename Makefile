@@ -1,6 +1,6 @@
 # Convenience targets for the DICE reproduction.
 
-.PHONY: install test check chaos serve service-smoke top slo-check bench bench-parallel bench-core bench-gate report flight examples clean
+.PHONY: install test check chaos serve service-smoke top slo-check bench bench-parallel bench-core bench-gate report flight run-table examples clean
 
 install:
 	python setup.py develop
@@ -65,6 +65,17 @@ flight:
 	PYTHONPATH=src python -m repro.harness.cli report --flight \
 		--check --accesses 300 --out FLIGHT_report.md
 
+# Statistical smoke campaign: 3 derived-seed repetitions of fig13, a
+# lint-clean run_table.csv, and CI-backed fidelity verdicts (see
+# RUN_TABLE_COLUMNS.md for the schema).
+run-table:
+	PYTHONPATH=src python -m repro.harness.cli fig13 \
+		--accesses 300 --repetitions 3 --jobs 2 --run-table run_table.csv
+	python scripts/runtable_lint.py --expect-reps 3 run_table.csv
+	PYTHONPATH=src python -m repro.harness.cli report --flight --check \
+		--accesses 300 --repetitions 3 --experiments fig13 \
+		--out FLIGHT_runtable.md
+
 examples:
 	python examples/quickstart.py
 	python examples/compression_explorer.py
@@ -76,6 +87,7 @@ clean:
 	rm -f .service_checkpoint.json
 	rm -f .campaign_checkpoint.json BENCH_parallel.json
 	rm -f .campaign_flight.json BENCH_core.ci.json FLIGHT_report.md FLIGHT_report.html
+	rm -f run_table.csv FLIGHT_runtable.md
 	rm -f *.prof.json *.collapsed.txt
 	rm -f test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

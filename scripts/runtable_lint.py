@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Schema lint for run_table.csv — the statistical campaign's ledger.
+
+Stdlib-only (CI runs it straight after the smoke campaign):
+
+* every required column present, in the documented order prefix-free
+  (extra columns are an error: the doc and the writer must agree);
+* required-value cells are non-empty; numeric cells parse as finite
+  numbers (no NaN/inf — absence is an empty cell, never a NaN);
+* repetition coverage: every (workload, design) group carries the same
+  set of rep indices ``0..N-1`` with exactly one row each, so a crashed
+  or skipped repetition cannot hide in an otherwise-plausible table.
+
+Exit 0 clean, 1 on lint findings, 2 on usage/IO errors.
+
+Usage::
+
+    python scripts/runtable_lint.py run_table.csv
+    python scripts/runtable_lint.py --expect-reps 3 run_table.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import math
+import os
+import sys
+from typing import Dict, List, Set, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.analysis.runtable import (  # noqa: E402
+    COLUMN_NAMES,
+    REQUIRED_VALUE_COLUMNS,
+)
+
+NUMERIC_COLUMNS = (
+    "seed",
+    "rep",
+    "speedup",
+    "l4_hit_rate",
+    "bandwidth_bloat",
+    "edp",
+    "wall_clock_ms",
+    "faults_injected",
+    "ecc_corrected",
+    "ecc_detected_refetches",
+    "silent_corruptions",
+    "cache_hit",
+)
+
+
+def lint_rows(
+    header: List[str],
+    rows: List[Dict[str, str]],
+    expect_reps: int = 0,
+) -> List[str]:
+    """Every lint finding for a parsed table (empty list = clean)."""
+    problems: List[str] = []
+    if header != list(COLUMN_NAMES):
+        problems.append(
+            f"column mismatch: expected {list(COLUMN_NAMES)}, got {header}"
+        )
+        return problems  # cell checks would just cascade
+    if not rows:
+        problems.append("table has a header but no data rows")
+        return problems
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for lineno, row in enumerate(rows, start=2):
+        for col in REQUIRED_VALUE_COLUMNS:
+            if row.get(col, "") == "":
+                problems.append(f"line {lineno}: empty required cell {col!r}")
+        for col in NUMERIC_COLUMNS:
+            cell = row.get(col, "")
+            if cell == "":
+                continue
+            try:
+                value = float(cell)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: {col}={cell!r} is not a number"
+                )
+                continue
+            if math.isnan(value) or math.isinf(value):
+                problems.append(
+                    f"line {lineno}: {col}={cell!r} is not finite"
+                )
+        try:
+            rep = int(row.get("rep", ""))
+        except ValueError:
+            continue  # already reported above
+        groups.setdefault(
+            (row.get("workload", ""), row.get("design", "")), []
+        ).append(rep)
+    rep_sets: Set[Tuple[int, ...]] = set()
+    for (workload, design), reps in sorted(groups.items()):
+        ordered = sorted(reps)
+        if len(set(ordered)) != len(ordered):
+            problems.append(
+                f"({workload}, {design}): duplicate repetition rows {ordered}"
+            )
+        elif ordered != list(range(len(ordered))):
+            problems.append(
+                f"({workload}, {design}): repetition gap — reps {ordered} "
+                f"are not 0..{len(ordered) - 1}"
+            )
+        if expect_reps and len(set(ordered)) != expect_reps:
+            problems.append(
+                f"({workload}, {design}): {len(set(ordered))} repetition(s), "
+                f"expected {expect_reps}"
+            )
+        rep_sets.add(tuple(sorted(set(ordered))))
+    if len(rep_sets) > 1:
+        problems.append(
+            f"mixed repetition coverage across (workload, design) groups: "
+            f"{sorted(rep_sets)}"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Lint a run_table.csv against the documented schema."
+    )
+    parser.add_argument("path", help="run_table.csv to check")
+    parser.add_argument(
+        "--expect-reps",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally require exactly N repetitions per "
+        "(workload, design) group",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                print(f"error: {args.path} is empty", file=sys.stderr)
+                return 2
+            rows = [dict(zip(header, cells)) for cells in reader]
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    problems = lint_rows(header, rows, expect_reps=args.expect_reps)
+    for problem in problems:
+        print(f"lint: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"{args.path}: {len(problems)} problem(s) in {len(rows)} row(s)",
+            file=sys.stderr,
+        )
+        return 1
+    groups = {(row.get("workload"), row.get("design")) for row in rows}
+    print(
+        f"{args.path}: clean — {len(rows)} row(s), "
+        f"{len(groups)} (workload, design) group(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

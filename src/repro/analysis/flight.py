@@ -62,11 +62,14 @@ def build_flight_data(
     trace_summary: Optional[Dict] = None,
     slo: Optional[Dict] = None,
     top: int = 10,
+    key_stats: Optional[Dict] = None,
 ) -> Dict[str, object]:
     """Assemble the renderer-independent report payload.
 
     ``slo`` is a ``{"ok": bool, "results": [...]}`` verdict document —
     the daemon's ``GET /slo`` payload or ``cli slo check --json`` output.
+    ``key_stats`` is :func:`repro.obs.fidelity.compute_key_stats` output
+    from a repetition campaign — per-target mean Δ, 95% CI, and p-value.
     """
     from repro.obs.prof import top_frames
 
@@ -82,6 +85,7 @@ def build_flight_data(
         "metrics": metrics,
         "trace_summary": trace_summary,
         "slo": slo,
+        "key_stats": key_stats,
     }
 
 
@@ -103,15 +107,81 @@ def _verdict_line(data: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def campaign_repetition_counts(campaign: Optional[Dict]) -> Dict[str, int]:
+    """Per-experiment repetition counts recorded in the flight data.
+
+    Steps written before the statistics era (or by hand) may lack the
+    ``repetitions`` field entirely — they are simply absent here, never
+    an error.
+    """
+    counts: Dict[str, int] = {}
+    for step in (campaign or {}).get("steps", []):
+        reps = step.get("repetitions")
+        if isinstance(reps, int) and reps >= 1:
+            counts[str(step.get("name"))] = reps
+    return counts
+
+
+def mixed_repetitions_warning(campaign: Optional[Dict]) -> Optional[str]:
+    """A warning line when a campaign mixed repetition counts, else None."""
+    counts = campaign_repetition_counts(campaign)
+    distinct = sorted(set(counts.values()))
+    if len(distinct) <= 1:
+        return None
+    groups = ", ".join(
+        f"{n} rep(s): "
+        + ", ".join(sorted(k for k, v in counts.items() if v == n))
+        for n in distinct
+    )
+    return (
+        f"campaign mixes repetition counts across experiments ({groups}) — "
+        f"cross-experiment statistics compare different sample sizes"
+    )
+
+
 def _campaign_section(campaign: Optional[Dict]) -> List[str]:
     if not campaign:
         return ["_No campaign timing data (run `cli all` to record it)._"]
-    lines = ["| experiment | wall seconds |", "|---|---:|"]
-    for step in campaign.get("steps", []):
-        lines.append(f"| {step['name']} | {step['seconds']:.2f} |")
+    lines: List[str] = []
+    warning = mixed_repetitions_warning(campaign)
+    if warning:
+        lines += [f"⚠ **Warning:** {warning}", ""]
+    counts = campaign_repetition_counts(campaign)
+    if counts:
+        lines += ["| experiment | wall seconds | repetitions |", "|---|---:|---:|"]
+        for step in campaign.get("steps", []):
+            reps = counts.get(str(step.get("name")))
+            lines.append(
+                f"| {step['name']} | {step['seconds']:.2f} "
+                f"| {reps if reps is not None else '—'} |"
+            )
+    else:
+        lines += ["| experiment | wall seconds |", "|---|---:|"]
+        for step in campaign.get("steps", []):
+            lines.append(f"| {step['name']} | {step['seconds']:.2f} |")
     total = campaign.get("total_seconds")
     if total is not None:
-        lines.append(f"| **total** | **{total:.2f}** |")
+        lines.append(
+            f"| **total** | **{total:.2f}** |"
+            + (" — |" if counts else "")
+        )
+    return lines
+
+
+def _statistics_section(key_stats: Dict) -> List[str]:
+    """Per-target CI + p-value rows from a repetition campaign."""
+    lines = [
+        "| experiment | key | mean Δ | 95% CI | p-value | reps |",
+        "|---|---|---:|---:|---:|---:|",
+    ]
+    for experiment in sorted(key_stats):
+        for key in sorted(key_stats[experiment]):
+            ks = key_stats[experiment][key]
+            p = "—" if ks.p_value is None else f"{ks.p_value:.4f}"
+            lines.append(
+                f"| {experiment} | `{key}` | {ks.mean:+.4f} "
+                f"| [{ks.ci_low:+.4f}, {ks.ci_high:+.4f}] | {p} | {ks.n} |"
+            )
     return lines
 
 
@@ -206,6 +276,18 @@ def render_markdown(data: Dict[str, object]) -> str:
         format_scoreboard(data["scoreboard"], data["flags"]),
         "```",
         "",
+        # present only for repetition campaigns — a single-rep report
+        # stays byte-identical to the pre-statistics format
+        *(
+            [
+                "## Statistics (repetition campaign)",
+                "",
+                *_statistics_section(data["key_stats"]),
+                "",
+            ]
+            if data.get("key_stats")
+            else []
+        ),
         "## Campaign timings",
         "",
         *_campaign_section(data["campaign"]),

@@ -1,0 +1,317 @@
+"""The run table: one tidy CSV row per (workload × design × repetition).
+
+Statistical campaigns need an artifact the analysis layer can consume
+blindly — the mubench replication repos organize everything around one
+``run_table.csv`` plus a column-dictionary doc, and we adopt exactly
+that shape.  :func:`build_rows` turns a campaign's
+:class:`~repro.exec.scheduler.JobOutcome` list into rows,
+:func:`render_csv` serializes them deterministically, and
+:func:`render_columns_doc` generates ``RUN_TABLE_COLUMNS.md`` from the
+same column spec so docs can never drift from the schema (a docs-sync
+test holds the two in lock-step).
+
+Determinism contract: identical outcomes produce a byte-identical CSV.
+Rows are sorted by (workload, design, rep); floats are formatted with a
+fixed ``repr``-faithful rule; the only columns that vary between cold
+and warm executions of the same campaign are ``wall_clock_ms`` and
+``cache_hit`` (both provenance, not physics).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exec.scheduler import JobOutcome
+from repro.harness import runner as runner_mod
+
+#: Cache-line size used to express bandwidth bloat in "lines moved per
+#: demand access" units (the paper's Fig 8 framing).
+LINE_BYTES = 64
+
+#: The run-table schema, in column order.  ``RUN_TABLE_COLUMNS.md`` is
+#: generated from this spec — edit here, regenerate there.
+COLUMNS: Sequence[Dict[str, str]] = (
+    {
+        "name": "workload",
+        "type": "str",
+        "description": "SPEC-style workload name the trace synthesizer models "
+        "(e.g. `mcf`, `omnetpp`).",
+    },
+    {
+        "name": "design",
+        "type": "str",
+        "description": "Machine configuration from `STANDARD_CONFIGS` "
+        "(`base`, `dice`, `tsi`, `bai`, `scc`, ...). The row's speedup is "
+        "measured against `base`.",
+    },
+    {
+        "name": "seed",
+        "type": "int",
+        "description": "The *effective* RNG seed this repetition ran with — "
+        "`derive_rep_seed(base_seed, rep)`, so rep 0 carries the campaign's "
+        "base seed unchanged.",
+    },
+    {
+        "name": "rep",
+        "type": "int",
+        "description": "Repetition index, 0-based. Single-rep campaigns emit "
+        "only rep 0.",
+    },
+    {
+        "name": "speedup",
+        "type": "float",
+        "description": "Weighted speedup over the `base` design at the same "
+        "(workload, rep). Exactly 1.0 for `base` rows; empty when no same-rep "
+        "baseline result exists in the campaign or cache.",
+    },
+    {
+        "name": "l4_hit_rate",
+        "type": "float",
+        "description": "DRAM-cache (L4) hit rate over the measured phase, "
+        "in [0, 1].",
+    },
+    {
+        "name": "bandwidth_bloat",
+        "type": "float",
+        "description": "L4 bus bytes moved per demand access, divided by the "
+        "64 B line size — 1.0 means every access moved exactly one line; "
+        ">1.0 is bloat. Empty when the design recorded no L4 accesses.",
+    },
+    {
+        "name": "edp",
+        "type": "float",
+        "description": "Energy-delay product in arbitrary units "
+        "(`energy_nj * cycles`); lower is better.",
+    },
+    {
+        "name": "wall_clock_ms",
+        "type": "float",
+        "description": "Host wall-clock milliseconds the simulation took, "
+        "from the run's provenance manifest. Reflects the run that *produced* "
+        "the cached result (a cache hit reports the original run's time); "
+        "empty for results predating manifests.",
+    },
+    {
+        "name": "faults_injected",
+        "type": "int",
+        "description": "DRAM faults injected by the resilience layer "
+        "(0 unless the campaign set a fault rate).",
+    },
+    {
+        "name": "ecc_corrected",
+        "type": "int",
+        "description": "Faults corrected in place by SECDED ECC.",
+    },
+    {
+        "name": "ecc_detected_refetches",
+        "type": "int",
+        "description": "Detected-but-uncorrectable faults that forced a "
+        "refetch from DDR.",
+    },
+    {
+        "name": "silent_corruptions",
+        "type": "int",
+        "description": "Faults that escaped ECC entirely.",
+    },
+    {
+        "name": "cache_hit",
+        "type": "int",
+        "description": "1 when this row was served from the result cache, "
+        "0 when it was freshly simulated.",
+    },
+    {
+        "name": "config_digest",
+        "type": "str",
+        "description": "16-hex content digest of the full machine "
+        "configuration, from the provenance manifest — ties the row to the "
+        "exact hardware model that produced it. Empty for results predating "
+        "manifests.",
+    },
+)
+
+COLUMN_NAMES: Sequence[str] = tuple(col["name"] for col in COLUMNS)
+
+#: Columns that must always hold a value (others may be legitimately
+#: empty — see each column's description).
+REQUIRED_VALUE_COLUMNS: Sequence[str] = (
+    "workload",
+    "design",
+    "seed",
+    "rep",
+    "l4_hit_rate",
+    "edp",
+    "faults_injected",
+    "ecc_corrected",
+    "ecc_detected_refetches",
+    "silent_corruptions",
+    "cache_hit",
+)
+
+DEFAULT_RUN_TABLE = "run_table.csv"
+COLUMNS_DOC = "RUN_TABLE_COLUMNS.md"
+
+
+def _fmt(value) -> str:
+    """Deterministic cell formatting: shortest round-trip repr for floats."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _baseline_result(outcome: JobOutcome, by_key: Dict) -> Optional[object]:
+    """The same-rep `base` result for an outcome, outcomes first then cache."""
+    job = outcome.job
+    if job.config_name == "base":
+        return outcome.result
+    hit = by_key.get((job.workload, "base", job.scale, job.params))
+    if hit is not None:
+        return hit
+    return runner_mod.peek_cached(
+        job.workload, "base", scale=job.scale, params=job.params
+    )
+
+
+def build_rows(outcomes: Iterable[JobOutcome]) -> List[Dict[str, object]]:
+    """Tidy rows from campaign outcomes, sorted by (workload, design, rep).
+
+    Failed/quarantined outcomes carry no result and emit no row — the
+    resulting repetition-coverage gap is exactly what
+    ``scripts/runtable_lint.py`` exists to flag.
+    """
+    ok = [o for o in outcomes if o.ok and o.result is not None]
+    by_key = {
+        (o.job.workload, o.job.config_name, o.job.scale, o.job.params): o.result
+        for o in ok
+    }
+    rows: List[Dict[str, object]] = []
+    for outcome in ok:
+        job, result = outcome.job, outcome.result
+        manifest = result.manifest or {}
+        base = _baseline_result(outcome, by_key)
+        speedup = (
+            result.weighted_speedup_over(base) if base is not None else None
+        )
+        bloat = (
+            result.l4_bytes / (result.l4_accesses * LINE_BYTES)
+            if result.l4_accesses
+            else None
+        )
+        elapsed_s = manifest.get("elapsed_s")
+        rows.append(
+            {
+                "workload": job.workload,
+                "design": job.config_name,
+                "seed": job.params.seed,
+                "rep": job.rep,
+                "speedup": speedup,
+                "l4_hit_rate": result.l4_hit_rate,
+                "bandwidth_bloat": bloat,
+                "edp": result.edp_au,
+                "wall_clock_ms": (
+                    None if elapsed_s is None else elapsed_s * 1000.0
+                ),
+                "faults_injected": result.faults_injected,
+                "ecc_corrected": result.ecc_corrected,
+                "ecc_detected_refetches": result.ecc_detected_refetches,
+                "silent_corruptions": result.silent_corruptions,
+                "cache_hit": 1 if outcome.source == "cache" else 0,
+                "config_digest": manifest.get("config_digest") or None,
+            }
+        )
+    rows.sort(key=lambda r: (r["workload"], r["design"], r["rep"]))
+    return rows
+
+
+def render_csv(rows: Iterable[Dict[str, object]]) -> str:
+    """Serialize rows to CSV text (header always present, `\\n` endings)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(COLUMN_NAMES)
+    for row in rows:
+        writer.writerow([_fmt(row.get(name)) for name in COLUMN_NAMES])
+    return buf.getvalue()
+
+
+def run_table_csv(outcomes: Iterable[JobOutcome]) -> str:
+    """One-call convenience: outcomes → CSV text."""
+    return render_csv(build_rows(outcomes))
+
+
+def write_run_table(
+    outcomes: Iterable[JobOutcome], path: str = DEFAULT_RUN_TABLE
+) -> int:
+    """Write the run table to ``path``; returns the number of data rows."""
+    rows = build_rows(outcomes)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(render_csv(rows))
+    return len(rows)
+
+
+def values_by_key(
+    rows: Iterable[Dict[str, object]], metric: str = "speedup"
+) -> Dict[tuple, List[float]]:
+    """Group a metric's per-rep values by (workload, design), rep-ordered."""
+    grouped: Dict[tuple, List[tuple]] = {}
+    for row in rows:
+        value = row.get(metric)
+        if value is None:
+            continue
+        grouped.setdefault(
+            (row["workload"], row["design"]), []
+        ).append((row["rep"], float(value)))
+    return {
+        key: [v for _rep, v in sorted(pairs)]
+        for key, pairs in grouped.items()
+    }
+
+
+def render_columns_doc() -> str:
+    """Generate ``RUN_TABLE_COLUMNS.md`` from the COLUMNS spec."""
+    lines = [
+        "# run_table.csv — column dictionary",
+        "",
+        "<!-- GENERATED from repro.analysis.runtable.COLUMNS — do not edit",
+        "     by hand; run `python -m repro.analysis.runtable` instead. -->",
+        "",
+        "One row per (workload × design × repetition) of a campaign, "
+        "emitted by",
+        "`cli all --repetitions N --run-table run_table.csv` (or served by "
+        "the campaign",
+        "service at `GET /campaigns/{id}/run_table`). Rows are sorted by",
+        "(workload, design, rep); a byte-identical file means a "
+        "byte-identical campaign.",
+        "",
+        "| column | type | meaning |",
+        "|---|---|---|",
+    ]
+    for col in COLUMNS:
+        lines.append(
+            f"| `{col['name']}` | {col['type']} | {col['description']} |"
+        )
+    lines += [
+        "",
+        "Empty cells are *absence of provenance*, never NaN: `speedup` "
+        "lacks a",
+        "same-rep baseline, `bandwidth_bloat` a design with zero L4 "
+        "accesses, and",
+        "`wall_clock_ms`/`config_digest` a pre-manifest cached result. "
+        "`scripts/runtable_lint.py` enforces the schema.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    """Regenerate the committed column dictionary."""
+    with open(COLUMNS_DOC, "w", encoding="utf-8") as handle:
+        handle.write(render_columns_doc())
+    print(f"wrote {COLUMNS_DOC}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""Stdlib-only statistics for repetition campaigns: CIs + paired tests.
+
+The fidelity scoreboard grades single numbers; a repetition campaign
+produces *distributions*.  This module is the thin, deterministic bridge
+between the two: bootstrap confidence intervals for "how wide is this
+estimate really" and a paired sign-flip permutation test for "did this
+metric actually move, or is the movement seed noise".
+
+Everything here is pure stdlib (``random``, ``math``, ``itertools``) and
+seeded explicitly — the same inputs always produce the same interval and
+p-value, on every platform, which is what lets CI gate on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+#: Resampling budget for the bootstrap.  2000 resamples bounds the Monte
+#: Carlo error of a 95% quantile well below the tolerances fidelity
+#: checks use (5-25%), while staying fast enough for CI.
+DEFAULT_RESAMPLES = 2000
+
+#: Sign-flip assignments at or below this count are enumerated exactly
+#: (2^n for n paired deltas); above it we fall back to seeded sampling.
+#: 2^14 = 16384 keeps small campaigns — the common 3-5 rep case, where
+#: exactness matters most — fully exact.
+EXACT_PERMUTATION_LIMIT = 16384
+
+#: Monte Carlo permutation budget when exact enumeration is too large.
+DEFAULT_PERMUTATIONS = 10000
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (empty input is a caller bug → ValueError)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(math.fsum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("quantile of empty sequence")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with its bootstrap interval: ``mean [low, high] @ level``."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+    n: int
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def describe(self, fmt: str = "{:+.3f}") -> str:
+        pct = int(round(self.confidence * 100))
+        return (
+            f"{fmt.format(self.mean)} "
+            f"[{fmt.format(self.low)}, {fmt.format(self.high)}] "
+            f"({pct}% CI, n={self.n})"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of the mean, deterministic under ``seed``.
+
+    A single observation yields a degenerate interval (low == high ==
+    mean), which is exactly what the single-rep fallback path wants:
+    the interval collapses to today's point estimate.
+    """
+    if not values:
+        raise ValueError("bootstrap_ci of empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    observed = mean(values)
+    n = len(values)
+    if n == 1:
+        return ConfidenceInterval(observed, observed, observed, confidence, n)
+    rng = random.Random(seed)
+    resampled = sorted(
+        math.fsum(rng.choice(values) for _ in range(n)) / n
+        for _ in range(n_resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        mean=observed,
+        low=quantile(resampled, alpha),
+        high=quantile(resampled, 1.0 - alpha),
+        confidence=confidence,
+        n=n,
+    )
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a significance test on paired deltas."""
+
+    statistic: float  # observed mean delta
+    p_value: float
+    n: int
+    exact: bool  # True when every sign assignment was enumerated
+
+    def describe(self) -> str:
+        kind = "exact" if self.exact else "approx"
+        return (
+            f"mean Δ={self.statistic:+.4f}, "
+            f"p={self.p_value:.4f} ({kind}, n={self.n})"
+        )
+
+
+def sign_permutation_test(
+    deltas: Sequence[float],
+    n_permutations: int = DEFAULT_PERMUTATIONS,
+    seed: int = 0,
+) -> TestResult:
+    """Two-sided paired sign-flip permutation test on ``deltas``.
+
+    H0: the paired differences are symmetric around zero (no systematic
+    movement).  The statistic is the mean delta; under H0 each delta's
+    sign is exchangeable, so the null distribution is the mean over all
+    sign flips.  With ``2**n <= EXACT_PERMUTATION_LIMIT`` every flip is
+    enumerated (exact p); otherwise flips are sampled with ``seed`` and
+    the +1/(m+1) correction keeps p > 0.
+
+    With one repetition (a single delta) the test is vacuous and returns
+    p = 1.0 — a point estimate can never witness significance, which is
+    precisely why single-rep campaigns keep their old point-movement
+    semantics.
+    """
+    if not deltas:
+        raise ValueError("sign_permutation_test of empty sequence")
+    n = len(deltas)
+    observed = mean(deltas)
+    if n == 1 or all(d == 0.0 for d in deltas):
+        return TestResult(observed, 1.0, n, True)
+    threshold = abs(observed) - 1e-12  # tolerate fp noise in fsum order
+    if 2**n <= EXACT_PERMUTATION_LIMIT:
+        hits = 0
+        total = 2**n
+        for signs in itertools.product((1.0, -1.0), repeat=n):
+            stat = math.fsum(s * d for s, d in zip(signs, deltas)) / n
+            if abs(stat) >= threshold:
+                hits += 1
+        return TestResult(observed, hits / total, n, True)
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(n_permutations):
+        stat = (
+            math.fsum(d if rng.random() < 0.5 else -d for d in deltas) / n
+        )
+        if abs(stat) >= threshold:
+            hits += 1
+    return TestResult(
+        observed, (hits + 1) / (n_permutations + 1), n, False
+    )
+
+
+def paired_permutation_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_permutations: int = DEFAULT_PERMUTATIONS,
+    seed: int = 0,
+) -> TestResult:
+    """Sign-flip test on element-wise ``a[i] - b[i]`` pairs."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"paired test needs equal lengths, got {len(a)} vs {len(b)}"
+        )
+    deltas = [x - y for x, y in zip(a, b)]
+    return sign_permutation_test(deltas, n_permutations, seed)
+
+
+def shifted_deltas(
+    values: Sequence[float], reference: float
+) -> Tuple[float, ...]:
+    """Per-rep deltas of ``values`` against a scalar ``reference``.
+
+    The one-sample form of the paired test: did the distribution move
+    away from a committed baseline point?
+    """
+    return tuple(v - reference for v in values)
+
+
+def summarize_movement(
+    values: Sequence[float],
+    reference: float,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[ConfidenceInterval, Optional[TestResult]]:
+    """CI of mean(values - reference) plus significance vs the reference.
+
+    Returns ``(ci, test)``; ``test`` is None for single observations
+    (no distribution to test).
+    """
+    deltas = shifted_deltas(values, reference)
+    ci = bootstrap_ci(deltas, confidence=confidence, seed=seed)
+    if len(deltas) < 2:
+        return ci, None
+    return ci, sign_permutation_test(deltas, seed=seed)

@@ -24,6 +24,21 @@ if TYPE_CHECKING:  # import at runtime would close an import cycle:
     from repro.obs.telemetry import TraceContext
 
 
+def derive_rep_seed(base_seed: int, rep: int) -> int:
+    """Deterministic per-repetition seed: identity at rep 0.
+
+    Repetition 0 reuses ``base_seed`` unchanged, which is what keeps a
+    single-repetition campaign bit-identical to a campaign that never
+    heard of repetitions.  Later reps hash ``(base_seed, rep)`` so the
+    derived seeds are pairwise distinct, order-independent, and stable
+    across processes and platforms (sha256, not ``hash()``).
+    """
+    if rep == 0:
+        return base_seed
+    digest = hashlib.sha256(f"rep:{base_seed}:{rep}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
 @dataclass(frozen=True)
 class Job:
     """One independent simulation, addressable by its stable cache key."""
@@ -41,6 +56,13 @@ class Job:
     trace: Optional["TraceContext"] = field(
         default=None, compare=False, repr=False
     )
+    # Repetition index within a statistical campaign.  compare=False for
+    # the same reason as ``trace``: identity stays keyed on what was
+    # simulated.  Distinct reps already differ there — the planner derives
+    # a distinct per-rep seed into ``params`` — so ``rep`` is pure
+    # labeling metadata for the run table, never a dedupe discriminator
+    # beyond what the derived seed provides.
+    rep: int = field(default=0, compare=False)
 
     @property
     def cache_key(self) -> Tuple:
@@ -62,6 +84,8 @@ class Job:
         label = f"{self.workload} × {self.config_name}"
         if self.params.fault_rate:
             label += f" @fault={self.params.fault_rate:g}"
+        if self.rep:
+            label += f" rep={self.rep}"
         return label
 
     def peek(self) -> Optional[SimResult]:
@@ -83,6 +107,7 @@ def make_job(
     *,
     scale: Optional[int] = None,
     params: Optional[SimulationParams] = None,
+    rep: int = 0,
 ) -> Job:
     """Build a Job, normalizing defaults exactly like ``cached_run`` does.
 
@@ -96,4 +121,5 @@ def make_job(
         scale=runner_mod.DEFAULT_SCALE if scale is None else scale,
         params=params
         or SimulationParams(accesses_per_core=runner_mod.DEFAULT_ACCESSES),
+        rep=rep,
     )

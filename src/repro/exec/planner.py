@@ -18,10 +18,11 @@ to serial ones.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.exec.job import Job, make_job
+from repro.exec.job import Job, derive_rep_seed, make_job
 from repro.sim.engine import SimulationParams
 
 
@@ -45,13 +46,35 @@ class Plan:
         )
 
 
+def _rep_job(job: Job, rep: int) -> Job:
+    """Re-seed a planned job for repetition ``rep``.
+
+    Repetition 0 is the job exactly as planned — same object, same cache
+    key — which is the bit-identity guarantee for single-rep campaigns.
+    Later reps swap in the derived seed (a different cache key, so the
+    result cache and the service dedupe layer both see a distinct run)
+    and stamp the rep label for the run table.
+    """
+    if rep == 0:
+        return job
+    seeded = dataclasses.replace(
+        job.params, seed=derive_rep_seed(job.params.seed, rep)
+    )
+    return dataclasses.replace(job, params=seeded, rep=rep)
+
+
 def plan_experiment(
-    key: str, params: Optional[SimulationParams] = None
+    key: str,
+    params: Optional[SimulationParams] = None,
+    repetitions: int = 1,
 ) -> List[Job]:
     """The jobs one experiment needs, in declared order (deduped).
 
     Experiments without a ``.plan`` attribute (``fig4`` runs no
     simulations) plan to an empty list and simply execute serially.
+    With ``repetitions > 1`` each declared run is expanded once per
+    repetition (rep-major order after the declared order), every rep
+    beyond the first re-seeded via :func:`derive_rep_seed`.
     """
     from repro.harness.experiments import EXPERIMENTS
 
@@ -59,24 +82,34 @@ def plan_experiment(
         _title, fn = EXPERIMENTS[key]
     except KeyError:
         raise KeyError(f"unknown experiment {key!r}") from None
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     planner = getattr(fn, "plan", None)
     if planner is None:
         return []
-    jobs = [
+    base = [
         make_job(workload, config_name, params=run_params)
         for workload, config_name, run_params in planner(params)
+    ]
+    base = list(dict.fromkeys(base))
+    if repetitions == 1:
+        return base
+    jobs = [
+        _rep_job(job, rep) for rep in range(repetitions) for job in base
     ]
     return list(dict.fromkeys(jobs))
 
 
 def build_plan(
-    keys: Iterable[str], params: Optional[SimulationParams] = None
+    keys: Iterable[str],
+    params: Optional[SimulationParams] = None,
+    repetitions: int = 1,
 ) -> Plan:
     """Expand ``keys`` into a deduped plan (shared jobs scheduled once)."""
     plan = Plan()
     ordered: Dict[Job, None] = {}
     for key in keys:
-        jobs = plan_experiment(key, params)
+        jobs = plan_experiment(key, params, repetitions)
         plan.by_experiment[key] = jobs
         for job in jobs:
             ordered.setdefault(job, None)

@@ -188,6 +188,7 @@ def prefetch_experiments(
     supervisor=None,
     chaos=None,
     shutdown=None,
+    repetitions: int = 1,
 ):
     """Fan out every simulation the given experiments need, ahead of time.
 
@@ -203,12 +204,16 @@ def prefetch_experiments(
     :func:`repro.exec.run_jobs` — watchdog deadlines, fault injection,
     and graceful-drain respectively.  When ``shutdown`` trips, the
     returned outcome list simply omits the jobs that never ran.
+
+    ``repetitions`` expands every planned job once per repetition at a
+    derived per-rep seed (see :func:`repro.exec.job.derive_rep_seed`);
+    the default of 1 plans exactly what it always did.
     """
     import sys
 
     from repro.exec import ProgressPrinter, build_plan, run_jobs
 
-    plan = build_plan(keys, params)
+    plan = build_plan(keys, params, repetitions)
     if not plan.jobs:
         return [], []
     printer = ProgressPrinter(stream if stream is not None else sys.stderr)
@@ -242,6 +247,7 @@ class Campaign:
         checkpoint_path: Path = DEFAULT_CHECKPOINT,
         context: str = "",
         resume: bool = True,
+        repetitions: Optional[Dict[str, int]] = None,
     ) -> None:
         self.steps = list(steps)
         self.checkpoint_path = Path(checkpoint_path)
@@ -251,6 +257,9 @@ class Campaign:
         self.skipped: List[str] = []
         self.timings: Dict[str, float] = {}
         self.interrupted = False
+        # per-step repetition counts (flight report statistics section);
+        # None keeps the flight payload exactly its pre-statistics shape
+        self.repetitions = dict(repetitions) if repetitions else None
 
     # -- checkpoint persistence ---------------------------------------------
 
@@ -353,11 +362,17 @@ class Campaign:
 
     def flight_payload(self) -> Dict[str, object]:
         """Per-step wall timings, the flight report's campaign section."""
-        steps = [
-            {"name": name, "seconds": round(self.timings[name], 6)}
-            for name, _ in self.steps
-            if name in self.timings
-        ]
+        steps = []
+        for name, _ in self.steps:
+            if name not in self.timings:
+                continue
+            step: Dict[str, object] = {
+                "name": name,
+                "seconds": round(self.timings[name], 6),
+            }
+            if self.repetitions and name in self.repetitions:
+                step["repetitions"] = self.repetitions[name]
+            steps.append(step)
         return {
             "version": FLIGHT_VERSION,
             "context": self.context,

@@ -83,6 +83,10 @@ EXIT_DRIFT = 4
 EXIT_INTERRUPTED = 5
 EXIT_SLO = 6
 
+# The one documented default every subcommand's --seed shares (it is also
+# SimulationParams.seed).  tests/test_cli.py asserts no parser drifts.
+DEFAULT_SEED = SimulationParams().seed
+
 
 def run_one(key: str, params: SimulationParams) -> None:
     title, fn = EXPERIMENTS[key]
@@ -105,12 +109,25 @@ def _prefetch(
     supervisor=None,
     chaos=None,
     shutdown=None,
+    repetitions: int = 1,
+    run_table: Optional[str] = None,
 ) -> int:
-    """Fan the experiments' simulations out; report failures. 0, 3, or 5."""
-    _outcomes, failures = prefetch_experiments(
+    """Fan the experiments' simulations out; report failures. 0, 3, or 5.
+
+    With ``repetitions > 1`` every planned job runs once per derived-seed
+    repetition; ``run_table`` (a path) additionally writes the campaign's
+    tidy per-(workload, design, rep) CSV from the outcomes.
+    """
+    outcomes, failures = prefetch_experiments(
         keys, params, jobs=jobs, policy=policy,
         supervisor=supervisor, chaos=chaos, shutdown=shutdown,
+        repetitions=repetitions,
     )
+    if run_table and not (shutdown is not None and shutdown.requested):
+        from repro.analysis.runtable import write_run_table
+
+        n_rows = write_run_table(outcomes, run_table)
+        print(f"run table: {n_rows} row(s) -> {run_table}", file=sys.stderr)
     if shutdown is not None and shutdown.requested:
         print(
             "interrupted: campaign checkpointed; completed simulations are "
@@ -181,7 +198,7 @@ def _chaos_command(argv: List[str]) -> int:
         "(default: fig13 — the smoke campaign)",
     )
     parser.add_argument("--accesses", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument(
         "--deadline",
@@ -454,7 +471,7 @@ def _manifest_command(argv: List[str]) -> int:
     parser.add_argument("workload", nargs="?")
     parser.add_argument("config", nargs="?")
     parser.add_argument("--accesses", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--fault-rate", type=float, default=0.0)
     parser.add_argument("--ecc", choices=SCHEMES, default="secded")
     parser.add_argument(
@@ -558,7 +575,17 @@ def _report_command(argv: List[str]) -> int:
     )
     parser.add_argument("--top", type=int, default=10)
     parser.add_argument("--accesses", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="grade against N derived-seed repetitions: drift verdicts "
+        "become mean Δ with a bootstrap 95%% CI and a sign-flip p-value "
+        "(run the campaign with the same --repetitions first so results "
+        "come from the cache)",
+    )
     parser.add_argument(
         "--experiments",
         default=None,
@@ -567,6 +594,8 @@ def _report_command(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if not args.flight:
         parser.error("report currently supports --flight only")
+    if args.repetitions < 1:
+        parser.error("--repetitions must be >= 1")
 
     experiments = None
     if args.experiments:
@@ -579,7 +608,13 @@ def _report_command(argv: List[str]) -> int:
         accesses_per_core=args.accesses or DEFAULT_ACCESSES, seed=args.seed
     )
     context = fidelity.params_context(params)
-    summaries = fidelity.collect_summaries(params, experiments)
+    distributions = None
+    if args.repetitions > 1:
+        summaries, distributions = fidelity.collect_summaries_repeated(
+            params, experiments, repetitions=args.repetitions
+        )
+    else:
+        summaries = fidelity.collect_summaries(params, experiments)
     scoreboard = fidelity.build_scoreboard(summaries)
 
     if args.update_baseline:
@@ -591,13 +626,19 @@ def _report_command(argv: List[str]) -> int:
 
     flags: List = []
     baseline_used = None
+    key_stats = None
     if Path(args.baseline).exists():
         try:
             baseline = fidelity.load_baseline(args.baseline)
             flags = fidelity.detect_drift(
                 scoreboard, baseline,
                 tolerance=args.tolerance, context=context,
+                distributions=distributions,
             )
+            if distributions is not None:
+                key_stats = fidelity.compute_key_stats(
+                    distributions, baseline
+                )
         except fidelity.BaselineContextMismatch as exc:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_USAGE
@@ -612,6 +653,9 @@ def _report_command(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    elif distributions is not None:
+        # no baseline to move against: describe the distributions themselves
+        key_stats = fidelity.compute_key_stats(distributions)
 
     def _load(path, loader, what):
         if path is None:
@@ -647,12 +691,19 @@ def _report_command(argv: List[str]) -> int:
         trace_summary=trace_summary,
         slo=slo,
         top=args.top,
+        key_stats=key_stats,
     )
     fmt = args.format or (
         "html" if Path(args.out).suffix in (".html", ".htm") else "md"
     )
     out = flight.write_flight_report(args.out, data, fmt)
     print(f"wrote {out}")
+    if key_stats:
+        # one line per fidelity target: mean Δ, 95% CI, p-value
+        for experiment in sorted(key_stats):
+            for key in sorted(key_stats[experiment]):
+                ks = key_stats[experiment][key]
+                print(f"stats: {experiment}/{key}: {ks.describe()}")
     if flags:
         for flag in flags:
             print(f"drift: {flag.describe()}", file=sys.stderr)
@@ -800,9 +851,25 @@ def _submit_command(argv: List[str]) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7414)
     parser.add_argument("--accesses", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--fault-rate", type=float, default=None)
     parser.add_argument("--ecc", choices=SCHEMES, default=None)
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run every simulation N times at derived per-rep seeds "
+        "(the daemon plans one job per repetition)",
+    )
+    parser.add_argument(
+        "--run-table",
+        default=None,
+        metavar="PATH",
+        help="after completion, fetch the campaign's per-(workload, "
+        "design, rep) CSV from GET /campaigns/{id}/run_table to PATH "
+        "(default run_table.csv when --repetitions > 1)",
+    )
     parser.add_argument(
         "--client",
         default="cli",
@@ -829,6 +896,13 @@ def _submit_command(argv: List[str]) -> int:
     unknown = [k for k in keys if k not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.repetitions < 1:
+        parser.error("--repetitions must be >= 1")
+    run_table = args.run_table
+    if run_table is None and args.repetitions > 1:
+        from repro.analysis.runtable import DEFAULT_RUN_TABLE
+
+        run_table = DEFAULT_RUN_TABLE
 
     ctx = None
     if args.trace:
@@ -862,6 +936,9 @@ def _submit_command(argv: List[str]) -> int:
             seed=args.seed,
             fault_rate=args.fault_rate,
             ecc=args.ecc,
+            repetitions=(
+                args.repetitions if args.repetitions > 1 else None
+            ),
             on_event=on_event,
             trace=ctx,
         )
@@ -902,6 +979,21 @@ def _submit_command(argv: List[str]) -> int:
             f"worker files with `cli trace stitch`)",
             file=sys.stderr,
         )
+
+    if run_table:
+        try:
+            csv_text = client.run_table(str(doc.get("id")))
+        except (ServiceError, ConnectionError, OSError) as exc:
+            print(
+                f"error: cannot fetch run table: {exc}", file=sys.stderr
+            )
+        else:
+            with open(run_table, "w", encoding="utf-8", newline="") as fh:
+                fh.write(csv_text)
+            rows = max(0, csv_text.count("\n") - 1)
+            print(
+                f"run table: {rows} row(s) -> {run_table}", file=sys.stderr
+            )
 
     final = doc.get("final") or {}
     status = final.get("status") or doc.get("status")
@@ -1163,7 +1255,24 @@ def main(argv=None) -> int:
         default=None,
         help="L3 accesses per core (default: REPRO_ACCESSES or 6000)",
     )
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run every simulation N times at derived per-rep seeds "
+        "(seed_rep = f(--seed, rep); rep 0 is --seed itself) so the "
+        "campaign yields distributions instead of point estimates",
+    )
+    parser.add_argument(
+        "--run-table",
+        default=None,
+        metavar="PATH",
+        help="write the tidy per-(workload, design, rep) campaign CSV to "
+        "PATH (default run_table.csv when --repetitions > 1; see "
+        "RUN_TABLE_COLUMNS.md for the schema)",
+    )
     parser.add_argument(
         "--fault-rate",
         type=float,
@@ -1290,6 +1399,13 @@ def main(argv=None) -> int:
         parser.error("--timeout must be positive")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.repetitions < 1:
+        parser.error("--repetitions must be >= 1")
+    run_table = args.run_table
+    if run_table is None and args.repetitions > 1:
+        from repro.analysis.runtable import DEFAULT_RUN_TABLE
+
+        run_table = DEFAULT_RUN_TABLE
     policy: Optional[RetryPolicy] = None
     if args.timeout is not None or args.retries:
         policy = RetryPolicy(attempts=args.retries + 1, timeout=args.timeout)
@@ -1328,10 +1444,15 @@ def main(argv=None) -> int:
                 parser.error(f"unknown experiment(s): {', '.join(unknown)}")
         shutdown = ShutdownFlag()
         with graceful_signals(shutdown):
-            if jobs > 1 or chaos is not None or supervisor is not None:
+            statistical = args.repetitions > 1 or run_table is not None
+            if (
+                jobs > 1 or chaos is not None or supervisor is not None
+                or statistical
+            ):
                 status = _prefetch(
                     keys, params, jobs, policy,
                     supervisor=supervisor, chaos=chaos, shutdown=shutdown,
+                    repetitions=args.repetitions, run_table=run_table,
                 )
                 if status != EXIT_OK:
                     return status
@@ -1341,11 +1462,21 @@ def main(argv=None) -> int:
                 f"accesses={params.accesses_per_core} seed={params.seed} "
                 f"fault_rate={params.fault_rate} ecc={params.ecc}"
                 + (f" experiments={','.join(keys)}" if args.experiments else "")
+                + (
+                    f" repetitions={args.repetitions}"
+                    if args.repetitions > 1
+                    else ""
+                )
             )
             campaign = Campaign(
                 [(key, lambda k=key: run_one(k, params)) for key in keys],
                 context=context,
                 resume=not args.no_resume,
+                repetitions=(
+                    {key: args.repetitions for key in keys}
+                    if args.repetitions > 1
+                    else None
+                ),
             )
             try:
                 campaign.run(should_stop=lambda: shutdown.requested)
@@ -1377,10 +1508,14 @@ def main(argv=None) -> int:
 
     if args.experiment not in EXPERIMENTS:
         parser.error(f"unknown experiment {args.experiment!r}; try `list`")
-    if jobs > 1 or chaos is not None or supervisor is not None:
+    if (
+        jobs > 1 or chaos is not None or supervisor is not None
+        or args.repetitions > 1 or run_table is not None
+    ):
         status = _prefetch(
             [args.experiment], params, jobs, policy,
             supervisor=supervisor, chaos=chaos,
+            repetitions=args.repetitions, run_table=run_table,
         )
         if status != EXIT_OK:
             return status

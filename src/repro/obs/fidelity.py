@@ -22,6 +22,14 @@ silently shifts a headline number.  Simulations are deterministic, so at
 an unchanged parameter context any movement at all is a code-behavior
 change.  A baseline written at different parameters refuses comparison
 (:class:`BaselineContextMismatch`) instead of producing false drift.
+
+Repetition campaigns upgrade the verdicts from point estimates to
+statistics: :func:`collect_summaries_repeated` gathers one summary per
+derived-seed repetition, and :func:`detect_drift` with ``distributions``
+reports each movement as *mean Δ with a bootstrap 95% CI and a sign-flip
+p-value* (see :mod:`repro.analysis.stats`).  A single-rep campaign passes
+a one-point distribution, which collapses every interval to the point and
+every p-value to 1.0 — bit-identical to the pre-statistics behavior.
 """
 
 from __future__ import annotations
@@ -30,6 +38,14 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+# NOTE: repro.analysis.stats is imported lazily inside the functions that
+# need it — repro.analysis.__init__ pulls in analysis.paper, which
+# re-exports PAPER_TARGETS from *this* module, so a top-level import here
+# would close that cycle against a partially-initialized fidelity module.
+
+#: type alias: experiment -> summary key -> one value per repetition
+Distributions = Dict[str, Dict[str, List[float]]]
 
 BASELINE_SCHEMA = 1
 
@@ -343,6 +359,160 @@ def collect_summaries(
     return out
 
 
+def collect_summaries_repeated(
+    params,
+    experiments: Optional[Sequence[str]] = None,
+    repetitions: int = 1,
+) -> Tuple[Dict[str, Dict[str, float]], Distributions]:
+    """Per-rep summaries: (rep-0 summaries, full per-key distributions).
+
+    Repetition ``r`` re-runs every driver at the derived seed
+    ``derive_rep_seed(params.seed, r)`` — rep 0 is ``params`` unchanged,
+    so the first element is exactly what :func:`collect_summaries` would
+    have returned and the scoreboard/baseline context stay pinned to the
+    campaign's base seed.  Results come from the result cache, so a
+    campaign prefetched with the same ``--repetitions`` makes this cheap.
+    """
+    import dataclasses
+
+    from repro.exec.job import derive_rep_seed
+
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    distributions: Distributions = {}
+    first: Dict[str, Dict[str, float]] = {}
+    for rep in range(repetitions):
+        rep_params = (
+            params
+            if rep == 0
+            else dataclasses.replace(
+                params, seed=derive_rep_seed(params.seed, rep)
+            )
+        )
+        summaries = collect_summaries(rep_params, experiments)
+        if rep == 0:
+            first = summaries
+        for experiment, summary in summaries.items():
+            per_key = distributions.setdefault(experiment, {})
+            for key, value in summary.items():
+                per_key.setdefault(key, []).append(float(value))
+    return first, distributions
+
+
+@dataclass
+class KeyStats:
+    """Statistical movement of one summary key across repetitions.
+
+    ``mean``/``ci_low``/``ci_high`` are in *movement space*: delta-to-paper
+    units when the key has a paper target (matching the drift detector's
+    ``delta-to-paper`` kind), else baseline-relative measured movement.
+    ``p_value`` is the sign-flip test against "no movement vs baseline";
+    None when there is no baseline entry or only one repetition.
+    """
+
+    experiment: str
+    key: str
+    mean: float
+    ci_low: float
+    ci_high: float
+    p_value: Optional[float]
+    n: int
+
+    def describe(self) -> str:
+        stat = (
+            f"Δ {self.mean:+.4f} "
+            f"[{self.ci_low:+.4f}, {self.ci_high:+.4f}] 95% CI"
+        )
+        if self.p_value is not None:
+            stat += f", p={self.p_value:.4f}"
+        return f"{stat} (n={self.n})"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mean": round(self.mean, 6),
+            "ci_low": round(self.ci_low, 6),
+            "ci_high": round(self.ci_high, 6),
+            "p_value": (
+                None if self.p_value is None else round(self.p_value, 6)
+            ),
+            "n": self.n,
+        }
+
+
+def _movement_values(
+    experiment: str, key: str, values: Sequence[float]
+) -> Tuple[List[float], float]:
+    """Map raw per-rep values into movement space: (values', reference).
+
+    Keys with a paper target move in delta-to-paper units; others in
+    raw measured units (the caller normalizes the reference scale).
+    """
+    paper = paper_value(experiment, key)
+    if paper:
+        return [(v - paper) / paper for v in values], paper
+    return list(values), 0.0
+
+
+def compute_key_stats(
+    distributions: Distributions,
+    baseline: Optional[Dict[str, object]] = None,
+    confidence: float = 0.95,
+) -> Dict[str, Dict[str, KeyStats]]:
+    """Per-(experiment, key) movement statistics from rep distributions.
+
+    With a baseline, each key's statistics describe its movement away
+    from the recorded baseline point (CI of the mean movement plus a
+    sign-flip p-value); without one, they describe the distribution
+    itself around zero movement (p-value None).
+    """
+    from repro.analysis.stats import bootstrap_ci, sign_permutation_test
+
+    recorded = (baseline or {}).get("experiments", {})
+    out: Dict[str, Dict[str, KeyStats]] = {}
+    for experiment, per_key in sorted(distributions.items()):
+        base_keys = {}
+        base_exp = recorded.get(experiment)
+        if isinstance(base_exp, dict):
+            base_keys = base_exp.get("keys", {})
+        for key, values in per_key.items():
+            if not values:
+                continue
+            moved, paper = _movement_values(experiment, key, values)
+            base_entry = base_keys.get(key)
+            reference: Optional[float] = None
+            if isinstance(base_entry, dict):
+                if paper and "delta_to_paper" in base_entry:
+                    reference = float(base_entry["delta_to_paper"])
+                elif not paper and "measured" in base_entry:
+                    reference = float(base_entry["measured"])
+            if reference is None:
+                deltas = list(moved)
+                ci = bootstrap_ci(deltas, confidence=confidence)
+                test = None
+            else:
+                if not paper:
+                    scale = max(abs(reference), 1.0)
+                    deltas = [(v - reference) / scale for v in moved]
+                else:
+                    deltas = [v - reference for v in moved]
+                ci = bootstrap_ci(deltas, confidence=confidence)
+                test = (
+                    sign_permutation_test(deltas)
+                    if len(deltas) > 1
+                    else None
+                )
+            out.setdefault(experiment, {})[key] = KeyStats(
+                experiment=experiment,
+                key=key,
+                mean=ci.mean,
+                ci_low=ci.low,
+                ci_high=ci.high,
+                p_value=None if test is None else test.p_value,
+                n=len(values),
+            )
+    return out
+
+
 def build_scoreboard(
     summaries: Dict[str, Dict[str, float]]
 ) -> Dict[str, FidelityScore]:
@@ -444,6 +614,10 @@ class DriftFlag:
     current: Optional[float]
     movement: float
     tolerance: float
+    # Repetition statistics, attached only when the campaign carried
+    # distributions with >1 rep for this key — None keeps the single-rep
+    # flag (and its describe() text) exactly what it always was.
+    stats: Optional[KeyStats] = None
 
     def describe(self) -> str:
         if self.kind == "shape":
@@ -456,11 +630,20 @@ class DriftFlag:
                 f"{self.experiment}/{self.key}: no baseline entry "
                 f"(regenerate FIDELITY_baseline.json)"
             )
-        return (
+        text = (
             f"{self.experiment}/{self.key} [{self.kind}]: "
             f"baseline {self.baseline:+.4f} -> current {self.current:+.4f} "
             f"(moved {self.movement:.4f} > tol {self.tolerance:g})"
         )
+        if self.stats is not None:
+            text += (
+                f" | mean Δ {self.stats.mean:+.4f} "
+                f"[{self.stats.ci_low:+.4f}, {self.stats.ci_high:+.4f}]"
+            )
+            if self.stats.p_value is not None:
+                text += f", p={self.stats.p_value:.4f}"
+            text += f", n={self.stats.n}"
+        return text
 
 
 def _experiment_tolerance(
@@ -474,6 +657,7 @@ def detect_drift(
     baseline: Dict[str, object],
     tolerance: Optional[float] = None,
     context: Optional[Dict[str, object]] = None,
+    distributions: Optional[Distributions] = None,
 ) -> List[DriftFlag]:
     """Every movement beyond the tolerance band vs the baseline.
 
@@ -482,6 +666,13 @@ def detect_drift(
     :data:`TOLERANCE_OVERRIDES` apply on top of the effective default
     (explicit ``tolerance`` argument, else the baseline's recorded
     tolerance, else :data:`DEFAULT_TOLERANCE`).
+
+    ``distributions`` (from :func:`collect_summaries_repeated`) upgrades
+    the verdict for every key with more than one repetition: movement is
+    the **mean** per-rep movement, and the flag carries a bootstrap CI
+    plus a sign-flip p-value (:class:`KeyStats`).  Keys with a one-point
+    distribution — or no distribution at all — keep today's point
+    semantics exactly.
     """
     if context is not None:
         check_context(baseline, context)
@@ -490,6 +681,19 @@ def detect_drift(
         if tolerance is not None
         else float(baseline.get("tolerance", DEFAULT_TOLERANCE))
     )
+    all_stats: Dict[str, Dict[str, KeyStats]] = {}
+    if distributions:
+        multi = {
+            experiment: {
+                key: values
+                for key, values in per_key.items()
+                if len(values) > 1
+            }
+            for experiment, per_key in distributions.items()
+        }
+        multi = {exp: per_key for exp, per_key in multi.items() if per_key}
+        if multi:
+            all_stats = compute_key_stats(multi, baseline)
     recorded = baseline.get("experiments", {})
     flags: List[DriftFlag] = []
     for experiment, score in sorted(scoreboard.items()):
@@ -502,8 +706,10 @@ def detect_drift(
             )
             continue
         base_keys = base_exp.get("keys", {})
+        exp_stats = all_stats.get(experiment, {})
         for ks in score.keys:
             base_entry = base_keys.get(ks.key)
+            stats = exp_stats.get(ks.key)
             if not isinstance(base_entry, dict):
                 flags.append(
                     DriftFlag(experiment, ks.key, "missing-baseline",
@@ -512,22 +718,35 @@ def detect_drift(
                 continue
             if ks.delta_to_paper is not None and "delta_to_paper" in base_entry:
                 base_delta = float(base_entry["delta_to_paper"])
-                movement = abs(ks.delta_to_paper - base_delta)
+                if stats is not None:
+                    # mean per-rep delta-to-paper = baseline + mean movement
+                    current = base_delta + stats.mean
+                    movement = abs(stats.mean)
+                else:
+                    current = ks.delta_to_paper
+                    movement = abs(ks.delta_to_paper - base_delta)
                 if movement > tol:
                     flags.append(
                         DriftFlag(experiment, ks.key, "delta-to-paper",
-                                  base_delta, ks.delta_to_paper, movement,
-                                  tol)
+                                  base_delta, current, movement, tol,
+                                  stats=stats)
                     )
             else:
                 base_measured = float(base_entry.get("measured", 0.0))
-                movement = abs(ks.measured - base_measured) / max(
-                    abs(base_measured), 1.0
-                )
+                if stats is not None:
+                    movement = abs(stats.mean)
+                    scale = max(abs(base_measured), 1.0)
+                    current = base_measured + stats.mean * scale
+                else:
+                    current = ks.measured
+                    movement = abs(ks.measured - base_measured) / max(
+                        abs(base_measured), 1.0
+                    )
                 if movement > tol:
                     flags.append(
                         DriftFlag(experiment, ks.key, "measured",
-                                  base_measured, ks.measured, movement, tol)
+                                  base_measured, current, movement, tol,
+                                  stats=stats)
                     )
         base_shapes = base_exp.get("shapes", {})
         for label, passed in score.shapes.items():

@@ -113,6 +113,7 @@ class ServiceClient:
         seed: Optional[int] = None,
         fault_rate: Optional[float] = None,
         ecc: Optional[str] = None,
+        repetitions: Optional[int] = None,
         trace: Optional[TraceContext] = None,
     ) -> Dict[str, object]:
         """``POST /campaigns``; the acceptance doc (id, cached, queued...).
@@ -134,6 +135,8 @@ class ServiceClient:
             body["fault_rate"] = fault_rate
         if ecc is not None:
             body["ecc"] = ecc
+        if repetitions is not None:
+            body["repetitions"] = repetitions
         return self._request(
             "POST", "/campaigns", body,
             headers=trace.to_headers() if trace is not None else None,
@@ -144,6 +147,25 @@ class ServiceClient:
 
     def results(self, campaign_id: str) -> Dict[str, object]:
         return self._request("GET", f"/campaigns/{campaign_id}/results")
+
+    def run_table(self, campaign_id: str) -> str:
+        """``GET /campaigns/{id}/run_table`` — the campaign's tidy CSV."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/campaigns/{campaign_id}/run_table")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    decoded = {"error": raw.decode("utf-8", "replace")}
+                raise ServiceError(response.status, decoded)
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
 
     def drain(self) -> Dict[str, object]:
         return self._request("POST", "/drain")

@@ -812,6 +812,13 @@ class SimService:
             "fault_rate": payload.get("fault_rate", 0.0),
             "ecc": payload.get("ecc", "secded"),
         }
+        raw_reps = payload.get("repetitions")
+        try:
+            repetitions = 1 if raw_reps is None else int(raw_reps)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"malformed repetitions: {exc}")
+        if repetitions < 1:
+            raise HttpError(400, f"repetitions must be >= 1, got {repetitions}")
         jobs: List[Job] = []
         keys = payload.get("experiments") or []
         if keys:
@@ -831,7 +838,9 @@ class SimService:
                 )
             except (TypeError, ValueError) as exc:
                 raise HttpError(400, f"malformed parameters: {exc}")
-            jobs.extend(build_plan([str(k) for k in keys], params).jobs)
+            jobs.extend(
+                build_plan([str(k) for k in keys], params, repetitions).jobs
+            )
         raw = payload.get("jobs") or []
         if raw:
             if not isinstance(raw, list):
@@ -879,8 +888,37 @@ class SimService:
             )
         elif tail == "events":
             await self._stream_events(campaign, writer)
+        elif tail == "run_table":
+            writer.write(
+                text_response(
+                    200,
+                    self._run_table_csv(campaign),
+                    content_type="text/csv; charset=utf-8",
+                )
+            )
         else:
             raise HttpError(404, f"no campaign resource {tail!r}")
+
+    def _run_table_csv(self, campaign: CampaignState) -> str:
+        """The campaign's per-(workload, design, rep) CSV, from the cache.
+
+        Every finished job's result lives in the shared result cache, so
+        rows are rebuilt by peeking it — a job not finished (or whose
+        shard was lost) simply has no row yet, which the lint layer's
+        repetition-coverage check surfaces downstream.
+        """
+        from repro.analysis.runtable import run_table_csv
+        from repro.exec.scheduler import JobOutcome
+
+        outcomes = []
+        for job in campaign.jobs:
+            result = job.peek()
+            if result is None:
+                continue
+            state = campaign.states.get(job.job_id)
+            source = "cache" if state and state.source == "cache" else "run"
+            outcomes.append(JobOutcome(job, result, source=source))
+        return run_table_csv(outcomes)
 
     async def _stream_events(
         self, campaign: CampaignState, writer: asyncio.StreamWriter

@@ -38,7 +38,7 @@ DONE_STATES = ("done", "failed")
 
 def job_to_spec(job: Job) -> Dict[str, object]:
     """A JSON-ready spec that :func:`job_from_spec` round-trips exactly."""
-    return {
+    spec: Dict[str, object] = {
         "workload": job.workload,
         "config": job.config_name,
         "scale": job.scale,
@@ -48,6 +48,11 @@ def job_to_spec(job: Job) -> Dict[str, object]:
         "fault_rate": job.params.fault_rate,
         "ecc": job.params.ecc,
     }
+    # rep-0 jobs serialize exactly as before the statistics era, so old
+    # checkpoints and clients round-trip unchanged
+    if job.rep:
+        spec["rep"] = job.rep
+    return spec
 
 
 def job_from_spec(spec: Dict[str, object]) -> Job:
@@ -73,11 +78,18 @@ def job_from_spec(spec: Dict[str, object]) -> Job:
     except (TypeError, ValueError) as exc:
         raise ValueError(f"malformed job spec parameters: {exc}") from exc
     scale = spec.get("scale")
+    try:
+        rep = int(spec.get("rep", 0))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"malformed job spec rep: {exc}") from exc
+    if rep < 0:
+        raise ValueError(f"job spec rep must be >= 0, got {rep}")
     return make_job(
         str(spec["workload"]),
         str(spec["config"]),
         scale=int(scale) if scale is not None else None,
         params=params,
+        rep=rep,
     )
 
 

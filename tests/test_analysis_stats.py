@@ -1,0 +1,142 @@
+"""Repetition-campaign statistics: bootstrap CIs and permutation tests.
+
+(`tests/test_stats.py` covers the simulator's latency histograms; this
+file covers `repro.analysis.stats`, the campaign-level layer.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    DEFAULT_RESAMPLES,
+    EXACT_PERMUTATION_LIMIT,
+    bootstrap_ci,
+    mean,
+    paired_permutation_test,
+    quantile,
+    shifted_deltas,
+    sign_permutation_test,
+    stdev,
+    summarize_movement,
+)
+
+
+class TestBasics:
+    def test_mean_and_stdev(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert stdev([2.0, 4.0]) == pytest.approx(2.0**0.5)
+        assert stdev([5.0]) == 0.0
+
+    def test_mean_of_empty_is_a_caller_bug(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_quantile_interpolates(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert quantile(values, 0.0) == 0.0
+        assert quantile(values, 1.0) == 3.0
+        assert quantile(values, 0.5) == pytest.approx(1.5)
+        assert quantile([7.0], 0.25) == 7.0
+
+
+class TestBootstrapCI:
+    def test_deterministic_under_seed(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95]
+        a = bootstrap_ci(values, seed=0)
+        b = bootstrap_ci(values, seed=0)
+        assert a == b
+        # a different seed resamples differently but brackets the mean
+        c = bootstrap_ci(values, seed=1)
+        assert c.low <= c.mean <= c.high
+
+    def test_interval_brackets_the_mean(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.mean == 2.5
+        assert ci.n == 4
+        assert ci.contains(2.5)
+        assert not ci.contains(100.0)
+
+    def test_single_observation_degenerates_to_the_point(self):
+        """The single-rep fallback: the CI collapses to today's estimate."""
+        ci = bootstrap_ci([1.19])
+        assert (ci.mean, ci.low, ci.high) == (1.19, 1.19, 1.19)
+        assert ci.width == 0.0
+
+    def test_empty_and_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+
+    def test_describe_shows_level_and_n(self):
+        text = ConfidenceInterval(0.5, 0.25, 0.75, 0.95, 3).describe()
+        assert "95% CI" in text
+        assert "n=3" in text
+
+
+class TestSignPermutationTest:
+    def test_exact_p_for_three_consistent_deltas(self):
+        """n=3, all same sign: only the 2 extreme flips match → p = 2/8."""
+        result = sign_permutation_test([0.01, 0.02, 0.03])
+        assert result.exact
+        assert result.p_value == pytest.approx(0.25)
+        assert result.n == 3
+
+    def test_single_delta_is_vacuous(self):
+        result = sign_permutation_test([0.5])
+        assert result.p_value == 1.0
+        assert result.exact
+
+    def test_all_zero_deltas_mean_no_movement(self):
+        assert sign_permutation_test([0.0, 0.0, 0.0]).p_value == 1.0
+
+    def test_mixed_signs_weaken_significance(self):
+        strong = sign_permutation_test([0.1, 0.1, 0.1, 0.1])
+        weak = sign_permutation_test([0.1, -0.1, 0.1, -0.08])
+        assert strong.p_value < weak.p_value
+
+    def test_exact_enumeration_limit_is_generous_for_ci_reps(self):
+        # the 3-5 rep campaigns CI runs must stay exact
+        assert 2**5 <= EXACT_PERMUTATION_LIMIT
+
+    def test_monte_carlo_path_is_seeded_and_nonzero(self):
+        deltas = [0.01 * (1 + i % 7) for i in range(20)]  # 2^20 > limit
+        a = sign_permutation_test(deltas, n_permutations=500, seed=3)
+        b = sign_permutation_test(deltas, n_permutations=500, seed=3)
+        assert not a.exact
+        assert a == b
+        assert a.p_value > 0.0  # +1/(m+1) correction
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sign_permutation_test([])
+
+
+class TestPairedAndMovement:
+    def test_paired_test_is_sign_test_on_differences(self):
+        a = [1.1, 1.2, 1.3]
+        b = [1.0, 1.0, 1.0]
+        paired = paired_permutation_test(a, b)
+        direct = sign_permutation_test([0.1, 0.2, 0.3])
+        assert paired.p_value == pytest.approx(direct.p_value)
+
+    def test_paired_test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+
+    def test_shifted_deltas(self):
+        assert shifted_deltas([1.0, 1.5], 1.0) == (0.0, 0.5)
+
+    def test_summarize_movement_shapes(self):
+        ci, test = summarize_movement([1.1, 1.2, 1.3], 1.0)
+        assert ci.mean == pytest.approx(0.2)
+        assert test is not None and test.n == 3
+        ci1, test1 = summarize_movement([1.1], 1.0)
+        assert test1 is None
+        assert ci1.width == 0.0
+
+    def test_resample_budget_is_sane(self):
+        assert DEFAULT_RESAMPLES >= 1000

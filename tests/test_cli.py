@@ -235,3 +235,87 @@ class TestReportCommand:
         assert "Flight recorder report" in text
         assert "gmean" in text
         assert "all rows in-band" in capsys.readouterr().out
+
+
+class TestSeedDefaults:
+    """Satellite: every subcommand's --seed shares one documented default.
+
+    `submit` used to default its seed to None while the rest defaulted
+    to the engine's seed — a campaign submitted over HTTP could silently
+    grade against different physics than one run locally.
+    """
+
+    def test_default_seed_is_the_engine_default(self):
+        from repro.harness import cli
+        from repro.sim.engine import SimulationParams
+
+        assert cli.DEFAULT_SEED == SimulationParams().seed
+
+    def test_every_seed_flag_uses_the_shared_default(self):
+        import inspect
+        import re
+
+        from repro.harness import cli
+
+        source = inspect.getsource(cli)
+        seed_args = re.findall(r'add_argument\("--seed"[^)]*\)', source)
+        # chaos, manifest, report, submit, and the main parser
+        assert len(seed_args) == 5
+        for call in seed_args:
+            assert "default=DEFAULT_SEED" in call, call
+
+
+class TestRepetitionsFlag:
+    def test_zero_repetitions_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig13", "--repetitions", "0"])
+        assert exc_info.value.code == 2
+
+    def test_single_rep_run_writes_no_run_table(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig13", "--accesses", "100"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "run_table.csv").exists()
+
+    def test_statistical_campaign_emits_a_lint_clean_run_table(
+        self, tmp_path, capsys
+    ):
+        import csv
+        import os
+        import sys
+
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(__file__), "..", "scripts")
+        )
+        from runtable_lint import lint_rows
+
+        table = tmp_path / "rt.csv"
+        assert main([
+            "fig13", "--accesses", "100", "--repetitions", "2",
+            "--run-table", str(table),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "run table: " in err and str(table) in err
+        with table.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            rows = [dict(zip(header, cells)) for cells in reader]
+        assert lint_rows(header, rows, expect_reps=2) == []
+        reps = {row["rep"] for row in rows}
+        assert reps == {"0", "1"}
+        seeds = {row["seed"] for row in rows}
+        assert len(seeds) == 2  # base seed + one derived seed
+
+    def test_run_table_without_repetitions_still_writes(self, tmp_path,
+                                                        capsys):
+        table = tmp_path / "rt1.csv"
+        assert main([
+            "fig13", "--accesses", "100", "--run-table", str(table),
+        ]) == 0
+        capsys.readouterr()
+        text = table.read_text()
+        assert text.splitlines()[0].startswith("workload,design,seed,rep")
+        assert all(
+            line.split(",")[3] == "0" for line in text.splitlines()[1:]
+        )

@@ -229,3 +229,111 @@ class TestCollectSummaries:
         )
         assert set(summaries) == {"fig13"}
         assert "gmean" in summaries["fig13"]
+
+
+class TestRepetitionCollection:
+    def test_rep_zero_matches_the_point_collection(self):
+        """Tentpole bit-identity: rep 0 IS today's collect_summaries."""
+        from repro.sim.engine import SimulationParams
+
+        params = SimulationParams(accesses_per_core=100)
+        point = fidelity.collect_summaries(params, ["fig13"])
+        first, dists = fidelity.collect_summaries_repeated(
+            params, ["fig13"], repetitions=2
+        )
+        assert first == point
+        assert dists["fig13"]["gmean"][0] == point["fig13"]["gmean"]
+        assert len(dists["fig13"]["gmean"]) == 2
+        # a derived-seed rep simulates different physics
+        assert dists["fig13"]["gmean"][1] != dists["fig13"]["gmean"][0]
+
+    def test_zero_repetitions_rejected(self):
+        from repro.sim.engine import SimulationParams
+
+        with pytest.raises(ValueError):
+            fidelity.collect_summaries_repeated(
+                SimulationParams(accesses_per_core=100), ["fig13"],
+                repetitions=0,
+            )
+
+
+class TestComputeKeyStats:
+    def test_without_baseline_describes_the_distribution(self):
+        dists = {"fig10": {"dice/ALL26": [1.19, 1.20, 1.18]}}
+        stats = fidelity.compute_key_stats(dists)
+        ks = stats["fig10"]["dice/ALL26"]
+        assert ks.n == 3
+        assert ks.p_value is None  # nothing to test against
+        # movement space is delta-to-paper: values symmetric around 1.19
+        assert abs(ks.mean) < 0.01
+        assert ks.ci_low <= ks.mean <= ks.ci_high
+
+    def test_with_baseline_adds_a_p_value(self, tmp_path):
+        path = write_baseline(
+            tmp_path / "b.json", scoreboard_for(FIG10_GOOD), CONTEXT
+        )
+        baseline = load_baseline(path)
+        dists = {"fig10": {"dice/ALL26": [1.30, 1.31, 1.29]}}
+        ks = fidelity.compute_key_stats(dists, baseline)["fig10"]["dice/ALL26"]
+        assert ks.p_value == pytest.approx(0.25)  # exact 2/8, n=3 same-sign
+        assert ks.mean > 0.05  # ~+9% of the paper value vs baseline
+        text = ks.describe()
+        assert "95% CI" in text and "p=0.2500" in text and "n=3" in text
+
+    def test_single_rep_distribution_has_no_p_value(self, tmp_path):
+        path = write_baseline(
+            tmp_path / "b.json", scoreboard_for(FIG10_GOOD), CONTEXT
+        )
+        baseline = load_baseline(path)
+        dists = {"fig10": {"dice/ALL26": [1.30]}}
+        ks = fidelity.compute_key_stats(dists, baseline)["fig10"]["dice/ALL26"]
+        assert ks.p_value is None
+        assert ks.ci_low == ks.ci_high == ks.mean
+
+
+class TestDriftWithDistributions:
+    def baseline(self, tmp_path):
+        path = write_baseline(
+            tmp_path / "b.json", scoreboard_for(FIG10_GOOD), CONTEXT
+        )
+        return load_baseline(path)
+
+    def test_one_point_distributions_keep_point_semantics(self, tmp_path):
+        """Single-rep campaigns must flag exactly as before."""
+        baseline = self.baseline(tmp_path)
+        drifted = dict(FIG10_GOOD, **{"dice/ALL26": 1.19 * 1.085})
+        board = scoreboard_for(drifted)
+        dists = {"fig10": {key: [value] for key, value in drifted.items()}}
+        assert detect_drift(board, baseline, distributions=dists) == \
+            detect_drift(board, baseline)
+
+    def test_multi_rep_flag_carries_ci_and_p_value(self, tmp_path):
+        baseline = self.baseline(tmp_path)
+        drifted = dict(FIG10_GOOD, **{"dice/ALL26": 1.30})
+        dists = {"fig10": {"dice/ALL26": [1.30, 1.31, 1.29]}}
+        flags = detect_drift(
+            scoreboard_for(drifted), baseline, distributions=dists
+        )
+        (flag,) = flags
+        assert flag.kind == "delta-to-paper"
+        assert flag.stats is not None
+        assert flag.stats.n == 3
+        assert flag.stats.p_value == pytest.approx(0.25)
+        text = flag.describe()
+        assert "mean Δ" in text and "p=0.2500" in text and "n=3" in text
+
+    def test_seed_noise_averages_back_into_the_band(self, tmp_path):
+        """One noisy rep alone would flag; the mean movement does not."""
+        baseline = self.baseline(tmp_path)
+        # rep 1 jumps +8.5% but reps 0/2 swing back: mean ≈ baseline
+        noisy = [1.191, 1.19 * 1.085, 1.191 - (1.19 * 0.085)]
+        dists = {"fig10": {"dice/ALL26": noisy}}
+        point_flags = detect_drift(
+            scoreboard_for(dict(FIG10_GOOD, **{"dice/ALL26": noisy[1]})),
+            baseline,
+        )
+        assert point_flags  # the lone point estimate would have flagged
+        mean_flags = detect_drift(
+            scoreboard_for(FIG10_GOOD), baseline, distributions=dists
+        )
+        assert mean_flags == []

@@ -215,3 +215,87 @@ class TestCampaignTimings:
         second.run()
         assert "step_a" not in second.timings
         assert second.flight_payload()["skipped"] == ["step_a"]
+
+
+class TestRepetitionReporting:
+    def payload(self, reps_a=3, reps_b=3):
+        return {
+            "steps": [
+                {"name": "fig10", "seconds": 1.0, "repetitions": reps_a},
+                {"name": "fig13", "seconds": 2.0, "repetitions": reps_b},
+            ],
+            "total_seconds": 3.0,
+        }
+
+    def test_counts_read_from_flight_steps(self):
+        counts = flight.campaign_repetition_counts(self.payload(3, 5))
+        assert counts == {"fig10": 3, "fig13": 5}
+
+    def test_pre_statistics_steps_are_simply_absent(self):
+        payload = {"steps": [{"name": "old", "seconds": 1.0}]}
+        assert flight.campaign_repetition_counts(payload) == {}
+        assert flight.mixed_repetitions_warning(payload) is None
+
+    def test_uniform_repetitions_do_not_warn(self):
+        assert flight.mixed_repetitions_warning(self.payload(3, 3)) is None
+
+    def test_mixed_repetitions_warn_without_crashing(self):
+        """Satellite: mixed rep counts are a warning, never an error."""
+        warning = flight.mixed_repetitions_warning(self.payload(1, 3))
+        assert warning is not None
+        assert "fig10" in warning and "fig13" in warning
+        text = render_markdown(
+            build_flight_data(make_board(), [], context=CONTEXT,
+                              campaign=self.payload(1, 3))
+        )
+        assert "⚠ **Warning:**" in text
+        assert "mixes repetition counts" in text
+
+    def test_campaign_table_gains_a_repetitions_column(self):
+        text = render_markdown(
+            build_flight_data(make_board(), [], context=CONTEXT,
+                              campaign=self.payload())
+        )
+        assert "| experiment | wall seconds | repetitions |" in text
+        assert "| fig10 | 1.00 | 3 |" in text
+
+    def test_old_payloads_keep_the_two_column_table(self):
+        payload = {"steps": [{"name": "old", "seconds": 1.0}],
+                   "total_seconds": 1.0}
+        text = render_markdown(
+            build_flight_data(make_board(), [], context=CONTEXT,
+                              campaign=payload)
+        )
+        assert "| experiment | wall seconds |" in text
+        assert "repetitions" not in text
+
+
+class TestStatisticsSection:
+    def key_stats(self):
+        from repro.obs.fidelity import KeyStats
+
+        return {
+            "fig10": {
+                "dice/ALL26": KeyStats(
+                    experiment="fig10", key="dice/ALL26", mean=0.0876,
+                    ci_low=0.0792, ci_high=0.096, p_value=0.25, n=3,
+                )
+            }
+        }
+
+    def test_section_renders_ci_and_p_value(self):
+        text = render_markdown(
+            build_flight_data(make_board(), [], context=CONTEXT,
+                              key_stats=self.key_stats())
+        )
+        assert "## Statistics (repetition campaign)" in text
+        assert "| fig10 | `dice/ALL26` | +0.0876 " in text
+        assert "[+0.0792, +0.0960]" in text
+        assert "0.2500" in text
+
+    def test_single_rep_report_has_no_statistics_section(self):
+        """1-rep output must stay byte-identical to the pre-stats format."""
+        text = render_markdown(
+            build_flight_data(make_board(), [], context=CONTEXT)
+        )
+        assert "Statistics" not in text

@@ -1,0 +1,261 @@
+"""Run-table ledger tests: derived seeds, determinism, schema lint.
+
+The statistical campaign's contract: same campaign + same base seed +
+same repetition count ⇒ a byte-identical ``run_table.csv``; per-rep
+seeds are distinct yet reproducible whether the plan ran serially or in
+parallel; and ``scripts/runtable_lint.py`` rejects tables that violate
+the documented schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.exec.job import derive_rep_seed, make_job
+from repro.exec.planner import plan_experiment
+from repro.exec.scheduler import JobOutcome, run_jobs
+from repro.analysis.runtable import (
+    COLUMN_NAMES,
+    REQUIRED_VALUE_COLUMNS,
+    build_rows,
+    render_columns_doc,
+    render_csv,
+    run_table_csv,
+    values_by_key,
+    write_run_table,
+)
+from repro.sim.engine import SimulationParams
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "scripts")
+)
+
+from runtable_lint import lint_rows  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setattr(runner_mod, "_DISK_CACHE", False)
+    runner_mod.drop_memory_state()
+    yield
+    runner_mod.drop_memory_state()
+
+
+PARAMS = SimulationParams(accesses_per_core=120, seed=9)
+
+
+def rep_jobs(repetitions=2, workloads=("mcf",), configs=("base", "dice")):
+    """A tiny statistical plan: workloads × configs × derived-seed reps."""
+    jobs = []
+    for rep in range(repetitions):
+        params = (
+            PARAMS
+            if rep == 0
+            else dataclasses.replace(
+                PARAMS, seed=derive_rep_seed(PARAMS.seed, rep)
+            )
+        )
+        for workload in workloads:
+            for config in configs:
+                jobs.append(
+                    make_job(workload, config, params=params, rep=rep)
+                )
+    return jobs
+
+
+def parse(csv_text):
+    lines = csv_text.strip().split("\n")
+    header = lines[0].split(",")
+    rows = [dict(zip(header, line.split(","))) for line in lines[1:]]
+    return header, rows
+
+
+class TestDerivedSeeds:
+    def test_rep_zero_is_the_base_seed(self):
+        """Bit-identity anchor: rep 0 must not perturb existing runs."""
+        for base in (0, 7, 9, 123456):
+            assert derive_rep_seed(base, 0) == base
+
+    def test_reps_are_distinct_and_reproducible(self):
+        seeds = [derive_rep_seed(7, rep) for rep in range(8)]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [derive_rep_seed(7, rep) for rep in range(8)]
+
+    def test_different_base_seeds_diverge(self):
+        assert derive_rep_seed(7, 1) != derive_rep_seed(8, 1)
+
+    def test_plan_expands_reps_with_derived_seeds(self):
+        single = plan_experiment("fig13", PARAMS)
+        tripled = plan_experiment("fig13", PARAMS, repetitions=3)
+        assert len(tripled) == 3 * len(single)
+        by_rep = {}
+        for job in tripled:
+            by_rep.setdefault(job.rep, set()).add(job.params.seed)
+        assert set(by_rep) == {0, 1, 2}
+        assert by_rep[0] == {PARAMS.seed}
+        assert by_rep[1] == {derive_rep_seed(PARAMS.seed, 1)}
+        assert by_rep[2] == {derive_rep_seed(PARAMS.seed, 2)}
+
+    def test_rep_is_not_part_of_job_identity(self):
+        """Two reps of one job differ via their derived seed, not rep."""
+        job0 = make_job("mcf", "dice", params=PARAMS, rep=0)
+        relabeled = dataclasses.replace(job0, rep=5)
+        assert job0 == relabeled
+        assert hash(job0) == hash(relabeled)
+
+
+class TestRunTableDeterminism:
+    def test_warm_serial_and_parallel_tables_are_byte_identical(self):
+        """Satellite: same campaign + seed + reps ⇒ byte-identical CSV."""
+        jobs = rep_jobs(repetitions=2)
+        cold = run_jobs(jobs, max_workers=1)
+        warm_serial = run_jobs(jobs, max_workers=1)
+        warm_parallel = run_jobs(jobs, max_workers=2)
+        assert run_table_csv(warm_serial) == run_table_csv(warm_parallel)
+        # cold vs warm may differ ONLY in provenance (cache_hit)
+        for cold_row, warm_row in zip(
+            build_rows(cold), build_rows(warm_serial)
+        ):
+            assert cold_row["cache_hit"] == 0
+            assert warm_row["cache_hit"] == 1
+            for column in COLUMN_NAMES:
+                if column == "cache_hit":
+                    continue
+                assert cold_row[column] == warm_row[column], column
+
+    def test_reps_produce_distinct_physics(self):
+        outcomes = run_jobs(rep_jobs(repetitions=2), max_workers=1)
+        per_rep = values_by_key(build_rows(outcomes), "edp")
+        for (workload, design), values in per_rep.items():
+            assert len(values) == 2
+            assert values[0] != values[1], (workload, design)
+
+    def test_rewriting_the_same_outcomes_is_byte_identical(self, tmp_path):
+        outcomes = run_jobs(rep_jobs(), max_workers=1)
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        assert write_run_table(outcomes, str(a)) == len(build_rows(outcomes))
+        write_run_table(outcomes, str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestBuildRows:
+    def test_base_rows_have_unit_speedup_and_rows_are_sorted(self):
+        outcomes = run_jobs(rep_jobs(repetitions=2), max_workers=1)
+        rows = build_rows(outcomes)
+        assert [tuple(r[k] for k in ("workload", "design", "rep"))
+                for r in rows] == sorted(
+            (r["workload"], r["design"], r["rep"]) for r in rows
+        )
+        for row in rows:
+            if row["design"] == "base":
+                assert row["speedup"] == 1.0
+            else:
+                assert row["speedup"] is not None
+            assert 0.0 <= row["l4_hit_rate"] <= 1.0
+            assert row["seed"] == derive_rep_seed(PARAMS.seed, row["rep"])
+
+    def test_failed_outcomes_leave_a_lintable_gap(self):
+        jobs = rep_jobs(repetitions=2)
+        outcomes = run_jobs(jobs, max_workers=1)
+        # drop one dice repetition, as a crashed worker would
+        kept = [
+            o if not (o.job.config_name == "dice" and o.job.rep == 1)
+            else JobOutcome(o.job, None, error="boom", source="failed")
+            for o in outcomes
+        ]
+        header, rows = parse(render_csv(build_rows(kept)))
+        problems = lint_rows(header, rows, expect_reps=2)
+        assert any("repetition" in p for p in problems)
+
+    def test_speedup_falls_back_to_cached_baseline(self):
+        """A dice-only outcome list still gets speedups from the cache."""
+        jobs = rep_jobs(repetitions=1)
+        run_jobs(jobs, max_workers=1)  # warms base + dice
+        dice_only = run_jobs(
+            [j for j in jobs if j.config_name == "dice"], max_workers=1
+        )
+        (row,) = build_rows(dice_only)
+        assert row["speedup"] is not None
+
+
+class TestLint:
+    def good_table(self):
+        outcomes = run_jobs(rep_jobs(repetitions=2), max_workers=1)
+        return parse(render_csv(build_rows(outcomes)))
+
+    def test_clean_table_passes(self):
+        header, rows = self.good_table()
+        assert lint_rows(header, rows) == []
+        assert lint_rows(header, rows, expect_reps=2) == []
+
+    def test_header_mismatch_is_fatal(self):
+        header, rows = self.good_table()
+        problems = lint_rows(header[:-1], rows)
+        assert len(problems) == 1
+        assert "column mismatch" in problems[0]
+
+    def test_empty_table_flagged(self):
+        assert lint_rows(list(COLUMN_NAMES), []) == [
+            "table has a header but no data rows"
+        ]
+
+    def test_empty_required_cell_flagged(self):
+        header, rows = self.good_table()
+        rows[0]["edp"] = ""
+        assert any(
+            "empty required cell 'edp'" in p for p in lint_rows(header, rows)
+        )
+
+    def test_nan_and_non_numeric_cells_flagged(self):
+        header, rows = self.good_table()
+        rows[0]["l4_hit_rate"] = "nan"
+        rows[1]["edp"] = "bogus"
+        problems = lint_rows(header, rows)
+        assert any("not finite" in p for p in problems)
+        assert any("not a number" in p for p in problems)
+
+    def test_wrong_rep_count_flagged(self):
+        header, rows = self.good_table()
+        assert any(
+            "expected 3" in p
+            for p in lint_rows(header, rows, expect_reps=3)
+        )
+
+    def test_mixed_coverage_across_groups_flagged(self):
+        header, rows = self.good_table()
+        dropped = [
+            r for r in rows
+            if not (r["design"] == "dice" and r["rep"] == "1")
+        ]
+        problems = lint_rows(header, dropped)
+        assert any("mixed repetition coverage" in p for p in problems)
+
+    def test_duplicate_rep_flagged(self):
+        header, rows = self.good_table()
+        dup = rows + [dict(rows[0])]
+        assert any(
+            "duplicate repetition" in p for p in lint_rows(header, dup)
+        )
+
+
+class TestColumnsDoc:
+    def test_committed_doc_matches_the_generator(self):
+        """RUN_TABLE_COLUMNS.md is generated — it must never drift."""
+        committed = (
+            Path(__file__).resolve().parents[1] / "RUN_TABLE_COLUMNS.md"
+        )
+        assert committed.read_text() == render_columns_doc()
+
+    def test_doc_names_every_column(self):
+        doc = render_columns_doc()
+        for name in COLUMN_NAMES:
+            assert f"`{name}`" in doc
+
+    def test_required_columns_are_a_subset_of_the_schema(self):
+        assert set(REQUIRED_VALUE_COLUMNS) <= set(COLUMN_NAMES)

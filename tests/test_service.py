@@ -431,3 +431,81 @@ class TestDrainAndResume:
             second.drain()
         # a cleanly finished daemon leaves no checkpoint to resume
         assert not checkpoint.exists()
+
+
+class TestRepetitionSpecs:
+    def test_rep_zero_spec_keeps_the_pre_statistics_shape(self):
+        from repro.exec.job import make_job
+        from repro.service.state import job_from_spec, job_to_spec
+
+        job = make_job(
+            "mcf", "dice", params=SimulationParams(accesses_per_core=120)
+        )
+        spec = job_to_spec(job)
+        assert "rep" not in spec  # old checkpoints round-trip unchanged
+        assert job_from_spec(spec) == job
+        assert job_from_spec(spec).rep == 0
+
+    def test_rep_round_trips_through_the_spec(self):
+        from repro.exec.job import derive_rep_seed, make_job
+        from repro.service.state import job_from_spec, job_to_spec
+
+        params = SimulationParams(
+            accesses_per_core=120, seed=derive_rep_seed(9, 2)
+        )
+        job = make_job("mcf", "dice", params=params, rep=2)
+        spec = job_to_spec(job)
+        assert spec["rep"] == 2
+        rebuilt = job_from_spec(spec)
+        assert rebuilt == job
+        assert rebuilt.rep == 2
+        assert rebuilt.params.seed == derive_rep_seed(9, 2)
+
+    def test_malformed_rep_specs_are_rejected(self):
+        from repro.service.state import job_from_spec
+
+        base = {"workload": "mcf", "config": "dice", "accesses": 120}
+        with pytest.raises(ValueError):
+            job_from_spec({**base, "rep": -1})
+        with pytest.raises(ValueError):
+            job_from_spec({**base, "rep": "three"})
+
+
+class TestStatisticalCampaigns:
+    def test_bad_repetitions_are_400(self, daemon):
+        for value in (0, -2, "many"):
+            with pytest.raises(ServiceError) as exc_info:
+                daemon.client.submit(
+                    experiments=["fig13"], accesses=120,
+                    repetitions=value, client="bad",
+                )
+            assert exc_info.value.status == 400
+
+    def test_repeated_campaign_serves_a_lint_clean_run_table(self, daemon):
+        import os
+        import sys
+
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(__file__), "..", "scripts")
+        )
+        from runtable_lint import lint_rows
+
+        doc = daemon.client.run_campaign(
+            experiments=["fig13"], accesses=120, seed=9,
+            repetitions=2, client="stats",
+        )
+        assert doc["final"].get("event") == "done"
+        csv_text = daemon.client.run_table(str(doc["submitted"]["id"]))
+        lines = csv_text.strip().split("\n")
+        header = lines[0].split(",")
+        rows = [dict(zip(header, line.split(","))) for line in lines[1:]]
+        assert lint_rows(header, rows, expect_reps=2) == []
+        assert {row["rep"] for row in rows} == {"0", "1"}
+        seeds = {row["rep"]: row["seed"] for row in rows}
+        assert seeds["0"] == "9"
+        assert seeds["1"] != "9"
+
+    def test_run_table_of_unknown_campaign_is_404(self, daemon):
+        with pytest.raises(ServiceError) as exc_info:
+            daemon.client.run_table("nope")
+        assert exc_info.value.status == 404
